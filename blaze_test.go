@@ -1,0 +1,165 @@
+package blaze_test
+
+import (
+	"testing"
+
+	"blaze"
+)
+
+func TestWorkloadRegistry(t *testing.T) {
+	ids := blaze.AllWorkloads()
+	if len(ids) != 6 {
+		t.Fatalf("expected 6 workloads, got %d", len(ids))
+	}
+	for _, id := range ids {
+		spec, err := blaze.Workload(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if spec.Plain == nil || spec.Annotated == nil {
+			t.Fatalf("%s: missing workload functions", id)
+		}
+		if spec.SerFactor <= 0 || spec.MemFraction <= 0 {
+			t.Fatalf("%s: invalid factors %v %v", id, spec.SerFactor, spec.MemFraction)
+		}
+	}
+	if _, err := blaze.Workload("nope"); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestRunRejectsUnknownSystem(t *testing.T) {
+	if _, err := blaze.Run(blaze.RunConfig{System: "nope", Workload: blaze.PR}); err == nil {
+		t.Fatal("unknown system should error")
+	}
+	if _, err := blaze.Run(blaze.RunConfig{System: blaze.SysBlaze, Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestEvalParamsValid(t *testing.T) {
+	for _, sf := range []float64{1.0, 2.5, 3.0} {
+		if err := blaze.EvalParams(sf).Validate(); err != nil {
+			t.Fatalf("EvalParams(%v): %v", sf, err)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs skipped in -short mode")
+	}
+	run := func() *blaze.Result {
+		r, err := blaze.Run(blaze.RunConfig{System: blaze.SysBlaze, Workload: blaze.CC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Metrics.ACT != b.Metrics.ACT {
+		t.Fatalf("non-deterministic ACT: %v vs %v", a.Metrics.ACT, b.Metrics.ACT)
+	}
+	if a.Metrics.Evictions != b.Metrics.Evictions || a.Metrics.CacheHits != b.Metrics.CacheHits {
+		t.Fatal("non-deterministic cache metrics")
+	}
+	if a.MemoryPerExecutor != b.MemoryPerExecutor {
+		t.Fatal("non-deterministic calibration")
+	}
+}
+
+func TestEverySystemRunsEveryWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix skipped in -short mode")
+	}
+	systems := []blaze.SystemID{
+		blaze.SysSparkMem, blaze.SysSparkMemDisk, blaze.SysSparkAlluxio,
+		blaze.SysLRC, blaze.SysMRD, blaze.SysLRCMem, blaze.SysMRDMem,
+		blaze.SysAutoCache, blaze.SysCostAware,
+		blaze.SysBlaze, blaze.SysBlazeMem, blaze.SysBlazeNoProfile,
+	}
+	// The cheapest workload keeps the full 12-system sweep fast.
+	for _, s := range systems {
+		r, err := blaze.Run(blaze.RunConfig{System: s, Workload: blaze.LR})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.Metrics.ACT <= 0 {
+			t.Fatalf("%s: zero ACT", s)
+		}
+		if r.Metrics.Jobs == 0 {
+			t.Fatalf("%s: no jobs ran", s)
+		}
+	}
+}
+
+func TestMemoryOnlySystemsNeverTouchDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, s := range []blaze.SystemID{blaze.SysSparkMem, blaze.SysLRCMem, blaze.SysMRDMem, blaze.SysBlazeMem} {
+		r, err := blaze.Run(blaze.RunConfig{System: s, Workload: blaze.CC})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.Metrics.DiskBytesWritten != 0 {
+			t.Errorf("%s wrote %d bytes of cache data to disk", s, r.Metrics.DiskBytesWritten)
+		}
+	}
+}
+
+func TestDiskCapacityConstrainedILP(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	r, err := blaze.Run(blaze.RunConfig{
+		System:       blaze.SysBlaze,
+		Workload:     blaze.CC,
+		DiskCapacity: 64 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.ILPSolves == 0 {
+		t.Fatal("disk-constrained run should still solve the ILP")
+	}
+}
+
+func TestScaleShrinksWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	full, err := blaze.Run(blaze.RunConfig{System: blaze.SysSparkMemDisk, Workload: blaze.LR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := blaze.Run(blaze.RunConfig{System: blaze.SysSparkMemDisk, Workload: blaze.LR, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Metrics.TotalBreakdown().Compute >= full.Metrics.TotalBreakdown().Compute {
+		t.Fatalf("scaled-down run should do less compute: %v vs %v",
+			small.Metrics.TotalBreakdown().Compute, full.Metrics.TotalBreakdown().Compute)
+	}
+}
+
+func TestMemoryFractionOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	lo, err := blaze.Run(blaze.RunConfig{System: blaze.SysSparkMemDisk, Workload: blaze.PR, MemoryFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := blaze.Run(blaze.RunConfig{System: blaze.SysSparkMemDisk, Workload: blaze.PR, MemoryFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.MemoryPerExecutor >= hi.MemoryPerExecutor {
+		t.Fatalf("fraction override ignored: %d vs %d", lo.MemoryPerExecutor, hi.MemoryPerExecutor)
+	}
+	if lo.Metrics.DiskBytesWritten < hi.Metrics.DiskBytesWritten {
+		t.Fatalf("tighter memory should spill at least as much: %d vs %d",
+			lo.Metrics.DiskBytesWritten, hi.Metrics.DiskBytesWritten)
+	}
+}

@@ -1,0 +1,58 @@
+// Command blazebench regenerates the tables and figures of the paper's
+// evaluation (§7). Each figure is printed as an aligned text table with
+// the same rows/series the paper plots.
+//
+// Usage:
+//
+//	blazebench -fig 9          # one figure (3,4,5,9,10,11,12,13,summary)
+//	blazebench -fig all        # everything
+//	blazebench -executors 8 -scale 1.0 -fig 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blaze/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,9,10,11,12,13,summary or 'all'")
+	executors := flag.Int("executors", 8, "number of simulated executors")
+	scale := flag.Float64("scale", 1.0, "input scale factor for every workload")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	flag.Parse()
+
+	h := harness.New()
+	h.Executors = *executors
+	h.Scale = *scale
+
+	names := []string{*fig}
+	if *fig == "all" {
+		names = harness.AllFigures()
+	}
+	start := time.Now()
+	_ = start
+	for _, name := range names {
+		m, err := h.Figure(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			js, err := m.RenderJSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(js)
+		} else {
+			fmt.Println(m.Render())
+		}
+	}
+	if !*asJSON {
+		fmt.Printf("(regenerated %d figure(s) in %v of wall time)\n", len(names), time.Since(start).Round(time.Millisecond))
+	}
+}

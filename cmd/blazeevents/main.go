@@ -1,0 +1,61 @@
+// Command blazeevents analyzes a JSON-lines event log written by
+// blazerun -events: per-job scheduler/cache activity and per-dataset
+// cache lifecycles — the audit view of the caching decisions.
+//
+// Usage:
+//
+//	blazerun -system blaze -workload pr -events /tmp/pr.jsonl
+//	blazeevents /tmp/pr.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"blaze/internal/eventlog"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: blazeevents <log.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazeevents: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	log, err := eventlog.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazeevents: %v\n", err)
+		os.Exit(1)
+	}
+	sum := eventlog.Summarize(log)
+
+	fmt.Printf("%d events, %d jobs\n\n", log.Len(), len(sum.Jobs))
+	fmt.Printf("%-6s %12s %8s %8s %8s %8s %8s %8s %8s\n",
+		"job", "duration", "tasks", "hits", "diskhit", "recomp", "admit", "spill", "drop")
+	for _, j := range sum.Jobs {
+		fmt.Printf("%-6d %12v %8d %8d %8d %8d %8d %8d %8d\n",
+			j.Job, j.End-j.Start, j.Tasks, j.Hits, j.DiskHits, j.Recomputes, j.Admitted, j.Spilled, j.Dropped)
+	}
+
+	ids := make([]int, 0, len(sum.Datasets))
+	for id := range sum.Datasets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("\n%-20s %8s %8s %8s %8s %12s %12s\n",
+		"dataset", "admit", "spill", "drop", "hits", "bytesAdmit", "bytesSpill")
+	for _, id := range ids {
+		d := sum.Datasets[id]
+		name := d.Name
+		if name == "" {
+			name = fmt.Sprintf("dataset-%d", id)
+		}
+		fmt.Printf("%-20s %8d %8d %8d %8d %12d %12d\n",
+			name, d.Admitted, d.Spilled, d.Dropped, d.Hits, d.BytesAdmitted, d.BytesSpilled)
+	}
+}

@@ -1,0 +1,81 @@
+// Command blazerun executes one workload under one caching system and
+// reports its metrics — the building block the figures aggregate.
+//
+// Usage:
+//
+//	blazerun -system blaze -workload pr
+//	blazerun -system spark-memdisk -workload svdpp -executors 4 -frac 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blaze"
+	"blaze/internal/eventlog"
+)
+
+func main() {
+	system := flag.String("system", "blaze", "caching system: spark-mem, spark-memdisk, spark-alluxio, lrc, mrd, lrc-mem, mrd-mem, autocache, costaware, blaze, blaze-mem, blaze-noprofile")
+	workload := flag.String("workload", "pr", "workload: pr, cc, lr, kmeans, gbt, svdpp")
+	executors := flag.Int("executors", 8, "number of simulated executors")
+	frac := flag.Float64("frac", 0, "memory fraction of the calibrated peak (0 = workload default)")
+	scale := flag.Float64("scale", 1.0, "input scale factor")
+	events := flag.String("events", "", "write a JSON-lines event log to this path and print a per-job summary")
+	flag.Parse()
+
+	var log *eventlog.Log
+	if *events != "" {
+		log = eventlog.New()
+	}
+	r, err := blaze.Run(blaze.RunConfig{
+		System:         blaze.SystemID(*system),
+		Workload:       blaze.WorkloadID(*workload),
+		Executors:      *executors,
+		MemoryFraction: *frac,
+		Scale:          *scale,
+		EventLog:       log,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazerun: %v\n", err)
+		os.Exit(1)
+	}
+	m := r.Metrics
+	b := m.TotalBreakdown()
+	fmt.Printf("system            %s\n", r.System)
+	fmt.Printf("workload          %s\n", r.Workload)
+	fmt.Printf("memory/executor   %d bytes\n", r.MemoryPerExecutor)
+	fmt.Printf("ACT               %v\n", m.ACT.Round(time.Microsecond))
+	fmt.Printf("  profiling       %v\n", m.ProfilingTime)
+	fmt.Printf("accumulated task time\n")
+	fmt.Printf("  compute         %v (recompute %v)\n", b.Compute.Round(time.Microsecond), b.Recompute.Round(time.Microsecond))
+	fmt.Printf("  shuffle         %v\n", b.Shuffle.Round(time.Microsecond))
+	fmt.Printf("  disk I/O        %v\n", b.DiskIO.Round(time.Microsecond))
+	fmt.Printf("cache             hits=%d diskHits=%d misses=%d\n", m.CacheHits, m.DiskHits, m.Misses)
+	fmt.Printf("evictions         %d (to disk %d), unpersists %d\n", m.Evictions, m.EvictionsToDisk, m.Unpersists)
+	fmt.Printf("disk              written=%d bytes, peak=%d bytes\n", m.DiskBytesWritten, m.DiskPeakBytes)
+	fmt.Printf("scheduler         jobs=%d stages=%d skipped=%d\n", m.Jobs, m.RanStages, m.SkippedStages)
+	if m.ILPSolves > 0 {
+		fmt.Printf("ILP               solves=%d nodes=%d\n", m.ILPSolves, m.ILPNodes)
+	}
+	if log != nil {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazerun: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := log.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "blazerun: %v\n", err)
+			os.Exit(1)
+		}
+		sum := eventlog.Summarize(log)
+		fmt.Printf("\nevent log         %d events -> %s\n", log.Len(), *events)
+		fmt.Printf("%-6s %10s %8s %8s %8s %8s %8s\n", "job", "tasks", "hits", "diskhits", "recomp", "admit", "spill")
+		for _, j := range sum.Jobs {
+			fmt.Printf("%-6d %10d %8d %8d %8d %8d %8d\n", j.Job, j.Tasks, j.Hits, j.DiskHits, j.Recomputes, j.Admitted, j.Spilled)
+		}
+	}
+}

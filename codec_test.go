@@ -1,0 +1,42 @@
+package blaze_test
+
+import (
+	"testing"
+
+	"blaze"
+	"blaze/internal/core"
+	"blaze/internal/dataflow"
+	"blaze/internal/engine"
+)
+
+// TestVerifyCodecOnRealWorkloads runs PR and SVD++ with every spill
+// round-tripped through the real gob codec — the serialization code path
+// exercised on real partition data.
+func TestVerifyCodecOnRealWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, w := range []blaze.WorkloadID{blaze.PR, blaze.SVDPP} {
+		spec, err := blaze.Workload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := dataflow.NewContext()
+		params := blaze.EvalParams(spec.SerFactor)
+		c, err := engine.NewCluster(engine.Config{
+			Executors:         4,
+			MemoryPerExecutor: 16 * 1024, // pressure → spills → codec checks
+			Params:            params,
+			Controller:        core.NewBlaze(),
+			VerifyCodec:       true,
+		}, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Plain(ctx, 0.3)
+		m := c.Finish()
+		if m.DiskBytesWritten == 0 {
+			t.Logf("%s: no spills occurred; codec unexercised", w)
+		}
+	}
+}

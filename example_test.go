@@ -1,0 +1,23 @@
+package blaze_test
+
+import (
+	"fmt"
+	"log"
+
+	"blaze"
+)
+
+// Example runs PageRank under Blaze's unified cost-aware caching and
+// reports whether any cache data reached the disk. (Output is omitted
+// because virtual-time metrics are environment-calibrated.)
+func Example() {
+	result, err := blaze.Run(blaze.RunConfig{
+		System:   blaze.SysBlaze,
+		Workload: blaze.PR,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("completed in", result.Metrics.ACT)
+	fmt.Println("cache hits:", result.Metrics.CacheHits)
+}

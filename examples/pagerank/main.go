@@ -1,0 +1,50 @@
+// PageRank system comparison: the paper's headline experiment (Fig. 9a)
+// on one workload — every caching system side by side, with the
+// disk-I/O-for-caching breakdown (Fig. 10a).
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"blaze"
+)
+
+func main() {
+	systems := []blaze.SystemID{
+		blaze.SysSparkMem,
+		blaze.SysSparkMemDisk,
+		blaze.SysSparkAlluxio,
+		blaze.SysLRC,
+		blaze.SysMRD,
+		blaze.SysAutoCache,
+		blaze.SysCostAware,
+		blaze.SysBlaze,
+	}
+
+	fmt.Printf("%-18s %12s %12s %12s %10s %12s\n",
+		"system", "ACT", "diskIO", "recompute", "evictions", "disk bytes")
+	var blazeACT, worstACT time.Duration
+	for _, s := range systems {
+		r, err := blaze.Run(blaze.RunConfig{System: s, Workload: blaze.PR})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := r.Metrics
+		b := m.TotalBreakdown()
+		fmt.Printf("%-18s %12v %12v %12v %10d %12d\n",
+			s, m.ACT.Round(time.Millisecond), b.DiskIO.Round(time.Millisecond),
+			b.Recompute.Round(time.Millisecond), m.Evictions, m.DiskBytesWritten)
+		if s == blaze.SysBlaze {
+			blazeACT = m.ACT
+		}
+		if m.ACT > worstACT {
+			worstACT = m.ACT
+		}
+	}
+	fmt.Printf("\nBlaze is %.2fx faster than the slowest system on PageRank.\n",
+		worstACT.Seconds()/blazeACT.Seconds())
+}

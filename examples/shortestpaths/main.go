@@ -1,0 +1,128 @@
+// Shortest paths: write a NEW iterative algorithm on the Pregel
+// abstraction and run it under Blaze's automatic caching — the adoption
+// path for custom workloads. No cache() annotation appears anywhere;
+// Blaze discovers what to cache from the lineage it builds on the run.
+//
+//	go run ./examples/shortestpaths
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"blaze/internal/core"
+	"blaze/internal/costmodel"
+	"blaze/internal/dataflow"
+	"blaze/internal/datagen"
+	"blaze/internal/engine"
+	"blaze/internal/graphx"
+)
+
+// state carries each vertex's adjacency and current hop distance.
+type state struct {
+	Adj  []int64
+	Dist float64
+}
+
+// SizeBytes lets the cache see realistic, skewed partition sizes.
+func (s state) SizeBytes() int64 { return 48 + 8*int64(len(s.Adj)) }
+
+func sssp(ctx *dataflow.Context, spec datagen.GraphSpec, parts int, source int64) map[int64]float64 {
+	adj := ctx.Source("graph-adj@0", parts, func(part int) []dataflow.Record {
+		var out []dataflow.Record
+		for v := int64(0); v < int64(spec.Vertices); v++ {
+			if dataflow.HashPartition(v, parts) == part {
+				out = append(out, dataflow.Record{Key: v, Value: state{Adj: spec.Neighbors(v), Dist: math.Inf(1)}})
+			}
+		}
+		return out
+	})
+	vertices := adj.Map("graph@0", func(r dataflow.Record) dataflow.Record {
+		st := r.Value.(state)
+		if r.Key == source {
+			st.Dist = 0
+		}
+		return dataflow.Record{Key: r.Key, Value: st}
+	})
+
+	final := graphx.Pregel(ctx, graphx.PregelConfig{Name: "sssp", Parts: parts, MaxIters: 30}, vertices,
+		func(vid int64, s any) []dataflow.Record {
+			st := s.(state)
+			if math.IsInf(st.Dist, 1) {
+				return nil
+			}
+			out := make([]dataflow.Record, len(st.Adj))
+			for i, dst := range st.Adj {
+				out[i] = dataflow.Record{Key: dst, Value: st.Dist + 1}
+			}
+			return out
+		},
+		func(a, b any) any {
+			if a.(float64) < b.(float64) {
+				return a
+			}
+			return b
+		},
+		func(vid int64, s any, msg any, hasMsg bool) (any, bool) {
+			st := s.(state)
+			if hasMsg && msg.(float64) < st.Dist {
+				return state{Adj: st.Adj, Dist: msg.(float64)}, true
+			}
+			return st, false
+		})
+
+	dists := make(map[int64]float64, len(final))
+	for vid, s := range final {
+		dists[vid] = s.(state).Dist
+	}
+	return dists
+}
+
+func main() {
+	spec := datagen.GraphSpec{Seed: 99, Vertices: 2000, AvgDegree: 4}
+	const parts = 16
+
+	run := func(ctl engine.Controller) (map[int64]float64, time.Duration) {
+		ctx := dataflow.NewContext()
+		cluster, err := engine.NewCluster(engine.Config{
+			Executors:         8,
+			MemoryPerExecutor: 24 * 1024, // tight: the graph does not fit
+			Params:            costmodel.Default(),
+			Controller:        ctl,
+		}, ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dists := sssp(ctx, spec, parts, 0)
+		return dists, cluster.Finish().ACT
+	}
+
+	blazeDists, blazeACT := run(core.NewBlaze())
+	sparkDists, sparkACT := run(engine.NewSparkMemOnly())
+
+	reached, maxDist := 0, 0.0
+	for _, d := range blazeDists {
+		if !math.IsInf(d, 1) {
+			reached++
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	for v, d := range blazeDists {
+		sd := sparkDists[v]
+		if d != sd && !(math.IsInf(d, 1) && math.IsInf(sd, 1)) {
+			log.Fatalf("systems disagree at vertex %d: %v vs %v", v, d, sd)
+		}
+	}
+
+	fmt.Printf("single-source shortest paths over %d vertices\n", spec.Vertices)
+	fmt.Printf("  reachable vertices: %d, eccentricity: %.0f hops\n", reached, maxDist)
+	fmt.Printf("  Blaze (auto-caching):     ACT = %v\n", blazeACT.Round(time.Microsecond))
+	fmt.Printf("  Spark MEM_ONLY (no hints): ACT = %v\n", sparkACT.Round(time.Microsecond))
+	fmt.Println("\nThe algorithm carries no caching annotations; under MEM_ONLY Spark")
+	fmt.Println("nothing is cached at all, while Blaze auto-caches each superstep's")
+	fmt.Println("graph generation and unpersists it when its references end.")
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"blaze/internal/cachepolicy"
+	"blaze/internal/dataflow"
+	"blaze/internal/engine"
+	"blaze/internal/storage"
+)
+
+// Features selects which Blaze components are active, enabling the
+// paper's ablations (§7.3): +AutoCache alone, +CostAware on top, and the
+// full ILP-driven unified decision layer.
+type Features struct {
+	// CostAware selects eviction victims by potential recovery cost
+	// instead of LRU.
+	CostAware bool
+	// ILP enables the optimal-partition-state solver, cost-compared
+	// admission, and the per-victim recompute-vs-disk state choice.
+	ILP bool
+	// DiskEnabled permits the d state; Blaze (MEM) in §7.4 disables it.
+	DiskEnabled bool
+}
+
+// Controller is Blaze's unified decision layer (§5.6): it automatically
+// caches partitions with future references, automatically unpersists
+// partitions without them after each stage, selects eviction victims and
+// their states by potential recovery cost, and periodically solves the
+// ILP for the optimal partition states of the upcoming jobs.
+type Controller struct {
+	name string
+	feat Features
+
+	c   *engine.Cluster
+	lin *CostLineage
+	est *Estimator
+
+	// profiled records whether a dependency-extraction skeleton seeded
+	// the lineage (§7.5 compares with and without).
+	profiled bool
+
+	// Current-job reference bookkeeping (exact within the job).
+	curJob      int
+	curStageIdx int
+	stageRefs   map[int][]int // dataset id -> stage indices referencing it
+
+	// targetState holds the ILP's desired placements for existing
+	// blocks, consulted when deciding disk-read promotions.
+	targetState map[storage.BlockID]engine.Placement
+
+	// accessedThisStage marks blocks already consumed by the running
+	// stage; combined with the reference index this gives
+	// partition-granularity liveness: a block whose dataset has no
+	// references beyond the current stage and whose own partition has
+	// been read is dead, hence a free eviction victim.
+	accessedThisStage map[storage.BlockID]bool
+
+	// ilpDiskCapacity, when positive, adds the optional per-executor
+	// disk capacity constraint of Eq. 6 and solves the full ILP by
+	// branch and bound instead of the knapsack fast path.
+	ilpDiskCapacity int64
+
+	// ilpWindow is the number of successor jobs the ILP objective looks
+	// at (§5.5 uses 1 — "the current job and its successive job" — to
+	// keep the solve under its latency budget).
+	ilpWindow int
+}
+
+// New creates a Blaze controller with explicit features (used by the
+// ablations). Pass a profiled skeleton via WithSkeleton, or leave the
+// lineage to build on the run.
+func New(name string, feat Features) *Controller {
+	lin := NewCostLineage()
+	lin.Extrapolate = true // on-the-run mode until a skeleton is applied
+	return &Controller{
+		name:              name,
+		feat:              feat,
+		lin:               lin,
+		targetState:       make(map[storage.BlockID]engine.Placement),
+		accessedThisStage: make(map[storage.BlockID]bool),
+		ilpWindow:         1,
+	}
+}
+
+// NewBlaze returns the full system: auto-caching, cost-aware decisions,
+// and the ILP solver over memory and disk states.
+func NewBlaze() *Controller {
+	return New("blaze", Features{CostAware: true, ILP: true, DiskEnabled: true})
+}
+
+// NewBlazeMemOnly returns Blaze without disk support (§7.4): potential
+// disk costs are excluded and evictions always unpersist.
+func NewBlazeMemOnly() *Controller {
+	return New("blaze-mem", Features{CostAware: true, ILP: true, DiskEnabled: false})
+}
+
+// NewAutoCache returns the +AutoCache ablation (§7.3): automatic caching
+// and unpersisting on MEM+DISK Spark, with LRU eviction and no cost
+// model.
+func NewAutoCache() *Controller {
+	return New("autocache", Features{DiskEnabled: true})
+}
+
+// NewCostAware returns the +CostAware ablation (§7.3): auto-caching plus
+// cost-aware victim selection by smallest disk access cost, but victims
+// always spill and admission never compares costs.
+func NewCostAware() *Controller {
+	return New("costaware", Features{CostAware: true, DiskEnabled: true})
+}
+
+// WithSkeleton seeds the controller with a profiled dependency skeleton
+// and returns the controller.
+func (b *Controller) WithSkeleton(sk *Skeleton) *Controller {
+	b.lin.ApplySkeleton(sk)
+	b.lin.Extrapolate = false // profiled offsets are complete
+	b.profiled = true
+	return b
+}
+
+// WithDiskCapacity adds the optional disk capacity constraint (Eq. 6
+// extension), forcing the exact branch-and-bound ILP path.
+func (b *Controller) WithDiskCapacity(bytes int64) *Controller {
+	b.ilpDiskCapacity = bytes
+	return b
+}
+
+// WithWindow sets how many successor jobs the ILP objective considers
+// (default 1, the paper's "current job and its successive job"). Larger
+// windows trade solve cost for longer-horizon placements.
+func (b *Controller) WithWindow(jobs int) *Controller {
+	if jobs >= 0 {
+		b.ilpWindow = jobs
+	}
+	return b
+}
+
+// Lineage exposes the cost lineage (tests and tools).
+func (b *Controller) Lineage() *CostLineage { return b.lin }
+
+// Name implements engine.Controller.
+func (b *Controller) Name() string { return b.name }
+
+// Bind implements engine.Controller.
+func (b *Controller) Bind(c *engine.Cluster) {
+	b.c = c
+	b.est = NewEstimator(b.lin, c.Params(), b.feat.DiskEnabled, b.blockState)
+	b.est.ShuffleOK = c.ShuffleComplete
+	b.est.Executors = len(c.Executors())
+	b.est.AliveAt = b.aliveAt
+}
+
+// aliveAt reports whether a node's partitions will still be retained at
+// the given job: auto-unpersist reclaims them after their last reference.
+func (b *Controller) aliveAt(key NodeKey, job int) bool {
+	n := b.lin.NodeByKey(key)
+	if n == nil {
+		return false
+	}
+	return b.lin.LastRefJob(n) >= job
+}
+
+// horizonFor returns the job index at which a dataset's next recovery
+// would happen: the current job while references remain in it, otherwise
+// the next referencing job.
+func (b *Controller) horizonFor(n *Node, datasetID int) int {
+	for _, idx := range b.stageRefs[datasetID] {
+		if idx >= b.curStageIdx {
+			return b.curJob
+		}
+	}
+	if n != nil {
+		if j, ok := b.lin.NextRefJob(n, b.curJob); ok {
+			return j
+		}
+	}
+	return b.curJob + 1
+}
+
+// horizonForAdmission is horizonFor for a partition being produced right
+// now: its producing stage's own reference does not count, so the horizon
+// is its next real use.
+func (b *Controller) horizonForAdmission(n *Node, datasetID int) int {
+	for _, idx := range b.stageRefs[datasetID] {
+		if idx > b.curStageIdx {
+			return b.curJob
+		}
+	}
+	if n != nil {
+		if j, ok := b.lin.NextRefJob(n, b.curJob); ok {
+			return j
+		}
+	}
+	return b.curJob + 1
+}
+
+func (b *Controller) blockState(datasetID, part int) BlockState {
+	ex := b.c.ExecutorFor(part)
+	id := storage.BlockID{Dataset: datasetID, Partition: part}
+	return BlockState{InMemory: ex.Mem.Contains(id), OnDisk: ex.Disk.Contains(id)}
+}
+
+// OnJobStart registers the job on the CostLineage, rebuilds the exact
+// within-job reference index, and triggers the ILP for the upcoming
+// window (§5.6: the solver runs on job submission so results are ready
+// before partitions are needed).
+func (b *Controller) OnJobStart(j *engine.Job) {
+	b.curJob = j.ID
+	b.curStageIdx = 0
+
+	// Register the full lineage of the target (not the cache-truncated
+	// stage pipelines) so ancestor edges are always known.
+	members := append(j.Target.Ancestors(), j.Target)
+	sort.Slice(members, func(x, y int) bool { return members[x].ID() < members[y].ID() })
+	b.lin.ObserveJob(j.ID, members, j.Target)
+
+	b.stageRefs = make(map[int][]int)
+	for _, st := range j.Stages {
+		for _, d := range st.Pipeline {
+			b.stageRefs[d.ID()] = append(b.stageRefs[d.ID()], st.Index)
+		}
+	}
+
+	if b.feat.ILP {
+		b.runILP()
+	}
+}
+
+// OnJobEnd implements engine.Controller.
+func (b *Controller) OnJobEnd(j *engine.Job) {}
+
+// OnStageEnd advances the stage cursor and auto-unpersists partitions
+// with no remaining references, freeing memory immediately after each
+// stage (§5.6, like Nectar).
+func (b *Controller) OnStageEnd(st *engine.Stage, idle []time.Duration) {
+	if st.Job != nil {
+		b.curStageIdx = st.Index + 1
+	}
+	b.accessedThisStage = make(map[storage.BlockID]bool)
+	for _, ex := range b.c.Executors() {
+		for _, meta := range ex.Mem.Blocks() {
+			if b.futureRefs(meta.ID.Dataset) == 0 {
+				b.c.DropBlock(ex, meta.ID)
+			}
+		}
+		for _, id := range ex.Disk.Blocks() {
+			if b.futureRefs(id.Dataset) == 0 {
+				b.c.DropBlock(ex, id)
+			}
+		}
+	}
+}
+
+// refsAfter counts the dataset's anticipated references at stages with
+// index >= fromStage of the current job, plus the role-induced references
+// in future jobs.
+func (b *Controller) refsAfter(datasetID, fromStage int) int {
+	refs := 0
+	for _, idx := range b.stageRefs[datasetID] {
+		if idx >= fromStage {
+			refs++
+		}
+	}
+	if n := b.lin.Node(datasetID); n != nil {
+		refs += b.lin.FutureJobRefs(n, b.curJob)
+	}
+	return refs
+}
+
+// futureRefs counts references from the current stage onward — used to
+// protect resident blocks that remaining work may still read.
+func (b *Controller) futureRefs(datasetID int) int {
+	return b.refsAfter(datasetID, b.curStageIdx)
+}
+
+// strictFutureRefs counts references strictly after the current stage —
+// used at admission time, where the producing stage's own reference must
+// not count as future reuse (otherwise every shuffle intermediate would
+// look cache-worthy while it is being computed).
+func (b *Controller) strictFutureRefs(datasetID int) int {
+	return b.refsAfter(datasetID, b.curStageIdx+1)
+}
+
+// refsInWindow counts references to the node within the ILP window (the
+// current job and its successor, §5.5).
+func (b *Controller) refsInWindow(n *Node) int {
+	refs := 0
+	if n.DatasetID >= 0 {
+		for _, idx := range b.stageRefs[n.DatasetID] {
+			if idx >= b.curStageIdx {
+				refs++
+			}
+		}
+	}
+	for _, off := range b.lin.effectiveOffsets(n.Key.Role) {
+		j := n.CreationJob + off
+		if j > b.curJob && j <= b.curJob+b.ilpWindow {
+			refs++
+		}
+	}
+	return refs
+}
+
+// debugPlace enables placement tracing for diagnostics.
+var debugPlace = os.Getenv("BLAZE_DEBUG_PLACE") != ""
+
+// PlaceComputed implements the automatic caching decision (§4.1): cache
+// only partitions with future references, and with ILP enabled, cache in
+// memory only when the partition's potential recovery cost beats the
+// residents it would displace.
+func (b *Controller) PlaceComputed(ex *engine.Executor, ds *dataflow.Dataset, part int, size int64) (engine.Placement, engine.Placement) {
+	if b.strictFutureRefs(ds.ID()) == 0 {
+		return engine.PlaceNone, engine.PlaceNone
+	}
+	if !b.feat.ILP {
+		// Ablations always cache (to memory, spilling on pressure).
+		if b.feat.DiskEnabled {
+			return engine.PlaceMemory, engine.PlaceDisk
+		}
+		return engine.PlaceMemory, engine.PlaceNone
+	}
+	// Full Blaze without an ILP verdict for this partition: compare the
+	// new partition's cost against the cheapest residents it would evict.
+	if size <= ex.Mem.Free() {
+		return engine.PlaceMemory, b.offMemoryPlacement(ds.ID(), part)
+	}
+	n := b.lin.Node(ds.ID())
+	b.est.Reset()
+	newCost := b.est.RecoveryCostAt(n, part, b.horizonForAdmission(n, ds.ID()))
+	var victimCost time.Duration
+	var freed int64
+	for _, meta := range b.victimOrder(ex) {
+		if freed >= size-ex.Mem.Free() {
+			break
+		}
+		victimCost += time.Duration(meta.Cost * float64(time.Second))
+		freed += meta.Size
+	}
+	if freed >= size-ex.Mem.Free() && victimCost < newCost {
+		return engine.PlaceMemory, b.offMemoryPlacement(ds.ID(), part)
+	}
+	off := b.offMemoryPlacement(ds.ID(), part)
+	if debugPlace {
+		fmt.Fprintf(os.Stderr, "PLACE-OFF %s p%d -> %v (newCost=%v victimCost=%v freed=%d size=%d free=%d job=%d stage=%d)\n",
+			ds.Name(), part, off, newCost, victimCost, freed, size, ex.Mem.Free(), b.curJob, b.curStageIdx)
+	}
+	return off, engine.PlaceNone
+}
+
+// diskBudgetAllows enforces the optional per-executor disk capacity
+// (Eq. 6 extension) on spill decisions.
+func (b *Controller) diskBudgetAllows(ex *engine.Executor, size int64) bool {
+	if b.ilpDiskCapacity <= 0 {
+		return true
+	}
+	return ex.Disk.CurrentBytes()+size <= b.ilpDiskCapacity
+}
+
+// offMemoryPlacement chooses the partition's state when it cannot or
+// should not stay in memory: disk when the disk cost is the smaller
+// potential recovery cost, otherwise unpersisted (§4.2).
+func (b *Controller) offMemoryPlacement(datasetID, part int) engine.Placement {
+	if !b.feat.DiskEnabled {
+		return engine.PlaceNone
+	}
+	if !b.feat.ILP {
+		return engine.PlaceDisk
+	}
+	n := b.lin.Node(datasetID)
+	if n == nil || !b.est.PreferDiskAt(n, part, b.horizonForAdmission(n, datasetID)) {
+		return engine.PlaceNone
+	}
+	if size, ok := b.lin.PartitionSize(n, part); ok {
+		if !b.diskBudgetAllows(b.c.ExecutorFor(part), size) {
+			return engine.PlaceNone
+		}
+	}
+	return engine.PlaceDisk
+}
+
+// victimOrder ranks the executor's resident blocks for eviction and
+// attaches their potential recovery costs to the metadata.
+func (b *Controller) victimOrder(ex *engine.Executor) []*storage.BlockMeta {
+	blocks := ex.Mem.Blocks()
+	if !b.feat.CostAware {
+		return cachepolicy.LRU{}.Order(blocks)
+	}
+	b.est.Reset()
+	for _, m := range blocks {
+		n := b.lin.Node(m.ID.Dataset)
+		if n == nil || b.futureRefs(m.ID.Dataset) == 0 {
+			m.Cost = 0 // no future benefit: free to evict
+			continue
+		}
+		if b.feat.ILP && b.strictFutureRefs(m.ID.Dataset) == 0 && b.accessedThisStage[m.ID] {
+			// Partition-granularity liveness: this block's only remaining
+			// reference was the current stage, and its partition has been
+			// consumed — it is dead regardless of the dataset-level view.
+			m.Cost = 0
+			continue
+		}
+		var c time.Duration
+		if b.feat.ILP {
+			// min(cost_d, cost_r) at the block's next recovery horizon
+			c = b.est.RecoveryCostAt(n, m.ID.Partition, b.horizonFor(n, m.ID.Dataset))
+		} else {
+			c = b.est.DiskCost(n, m.ID.Partition) // +CostAware: disk cost only
+		}
+		m.Cost = c.Seconds()
+	}
+	return cachepolicy.CostAscending{}.Order(blocks)
+}
+
+// SelectVictims implements cost-aware eviction with per-victim state
+// choice: full Blaze spills a victim only when its disk cost is below its
+// recomputation cost; the ablations always spill (DiskEnabled) or always
+// drop.
+func (b *Controller) SelectVictims(ex *engine.Executor, need int64) []engine.Victim {
+	ordered := b.victimOrder(ex)
+	var out []engine.Victim
+	var freed int64
+	for _, m := range ordered {
+		if freed >= need {
+			break
+		}
+		toDisk := b.feat.DiskEnabled
+		if b.feat.ILP && toDisk {
+			n := b.lin.Node(m.ID.Dataset)
+			toDisk = n != nil && m.Cost > 0 && b.futureRefs(m.ID.Dataset) > 0 &&
+				b.est.PreferDiskAt(n, m.ID.Partition, b.horizonFor(n, m.ID.Dataset)) &&
+				b.diskBudgetAllows(ex, m.Size)
+		}
+		out = append(out, engine.Victim{ID: m.ID, ToDisk: toDisk})
+		freed += m.Size
+	}
+	return out
+}
+
+// PromoteOnDiskRead honors the ILP's assigned state when one exists;
+// otherwise promotes partitions that still have future references.
+func (b *Controller) PromoteOnDiskRead(ex *engine.Executor, id storage.BlockID) bool {
+	if tgt, ok := b.targetState[id]; ok && b.feat.ILP {
+		return tgt == engine.PlaceMemory
+	}
+	return b.futureRefs(id.Dataset) > 0
+}
+
+// OnBlockAccess records per-partition consumption for liveness tracking.
+func (b *Controller) OnBlockAccess(ex *engine.Executor, id storage.BlockID) {
+	b.accessedThisStage[id] = true
+}
+
+// OnBlockAdmitted implements engine.Controller.
+func (b *Controller) OnBlockAdmitted(ex *engine.Executor, id storage.BlockID) {}
+
+// OnBlockRemoved implements engine.Controller.
+func (b *Controller) OnBlockRemoved(ex *engine.Executor, id storage.BlockID) {}
+
+// OnComputed feeds observed partition metrics into the CostLineage
+// (Fig. 7 step 5-6).
+func (b *Controller) OnComputed(ex *engine.Executor, ds *dataflow.Dataset, part int, size int64, cost time.Duration) {
+	if b.lin.Node(ds.ID()) == nil {
+		b.lin.RegisterDataset(ds, b.curJob)
+	}
+	b.lin.ObservePartition(ds.ID(), part, size, cost)
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"time"
+
+	"blaze/internal/costmodel"
+	"blaze/internal/storage"
+)
+
+// BlockState reports where a partition currently resides.
+type BlockState struct {
+	InMemory bool
+	OnDisk   bool
+}
+
+// StateFunc resolves the current state of a real partition. Unknown or
+// future partitions report neither location.
+type StateFunc func(datasetID, part int) BlockState
+
+// Estimator computes the potential recovery costs of §5.4: the disk
+// access cost (Eq. 3) and the recursive recomputation cost (Eq. 4),
+// combined into the potential recovery cost (Eq. 2). Costs change as
+// partition states change (§4.3), so estimates are memoized per decision
+// round and reset between rounds.
+type Estimator struct {
+	L           *CostLineage
+	Params      costmodel.Params
+	DiskEnabled bool
+	State       StateFunc
+
+	// ShuffleOK reports whether a shuffle's outputs still exist; when
+	// they do, recomputation across that edge reads the persisted
+	// shuffle files instead of re-running the parent stage. Nil treats
+	// every shuffle as missing (conservative).
+	ShuffleOK func(shuffleID int) bool
+	// Executors scales the cost of regenerating a cleaned shuffle: the
+	// parent stage recomputes all its partitions in parallel waves of
+	// one task per executor. Zero disables the scaling.
+	Executors int
+
+	// AliveAt reports whether a node's partitions will still be retained
+	// (referenced) at the given job index; ancestors that die before the
+	// recovery horizon cannot be counted on as recomputation shortcuts
+	// (§4.3's dynamically changing dependencies). Nil means always alive.
+	AliveAt func(key NodeKey, job int) bool
+
+	// hypoMem optionally overrides memory residency for a set of blocks,
+	// letting the ILP fixed-point loop evaluate costs under a candidate
+	// assignment before applying it.
+	hypoMem map[storage.BlockID]bool
+
+	memo map[partKey]time.Duration
+}
+
+type partKey struct {
+	key     NodeKey
+	part    int
+	horizon int
+}
+
+// NewEstimator builds an estimator over the lineage.
+func NewEstimator(l *CostLineage, params costmodel.Params, diskEnabled bool, state StateFunc) *Estimator {
+	return &Estimator{L: l, Params: params, DiskEnabled: diskEnabled, State: state, memo: make(map[partKey]time.Duration)}
+}
+
+// Reset clears the memoized costs; call at the start of each decision
+// round (costs are state-dependent).
+func (e *Estimator) Reset() {
+	e.memo = make(map[partKey]time.Duration)
+	e.hypoMem = nil
+}
+
+// SetHypothetical overrides memory residency with the given assignment
+// for nodes that have real dataset ids; used by the ILP fixed point.
+func (e *Estimator) SetHypothetical(inMem map[storage.BlockID]bool) {
+	e.memo = make(map[partKey]time.Duration)
+	e.hypoMem = inMem
+}
+
+// alive reports whether the node's partitions can be counted on to still
+// exist at the recovery horizon. Horizon <= 0 means "now".
+func (e *Estimator) alive(n *Node, horizon int) bool {
+	if horizon < 0 || e.AliveAt == nil {
+		return true
+	}
+	return e.AliveAt(n.Key, horizon)
+}
+
+func (e *Estimator) inMemory(n *Node, part, horizon int) bool {
+	if n.DatasetID < 0 || !e.alive(n, horizon) {
+		return false
+	}
+	id := storage.BlockID{Dataset: n.DatasetID, Partition: part}
+	if e.hypoMem != nil {
+		if v, ok := e.hypoMem[id]; ok {
+			return v
+		}
+	}
+	return e.State(n.DatasetID, part).InMemory
+}
+
+func (e *Estimator) onDisk(n *Node, part, horizon int) bool {
+	if n.DatasetID < 0 || !e.alive(n, horizon) {
+		return false
+	}
+	return e.State(n.DatasetID, part).OnDisk
+}
+
+// DiskCost implements Eq. 3: size over disk throughput. A partition not
+// yet on disk pays the spill write in addition to the read-back.
+func (e *Estimator) DiskCost(n *Node, part int) time.Duration {
+	size, ok := e.L.PartitionSize(n, part)
+	if !ok {
+		return 0
+	}
+	return e.Params.DiskRecoveryCost(size, e.onDisk(n, part, -1))
+}
+
+// maxRecursionDepth bounds the Eq. 4 recursion; real lineages are DAGs
+// so this only guards against pathological chains.
+const maxRecursionDepth = 256
+
+// RecomputeCost implements Eq. 4 at the "now" horizon.
+func (e *Estimator) RecomputeCost(n *Node, part int) time.Duration {
+	return e.RecomputeCostAt(n, part, -1)
+}
+
+// RecomputeCostAt implements Eq. 4: the longest recomputation chain from
+// the nearest available ancestors, dynamically reflecting the partition
+// states expected at the given job horizon (ancestors whose last
+// reference precedes the horizon will have been auto-unpersisted and
+// cannot shortcut the chain).
+func (e *Estimator) RecomputeCostAt(n *Node, part, horizon int) time.Duration {
+	return e.recompute(n, part, 0, horizon)
+}
+
+func (e *Estimator) recompute(n *Node, part, depth, horizon int) time.Duration {
+	if n == nil || depth > maxRecursionDepth {
+		return 0
+	}
+	k := partKey{key: n.Key, part: part, horizon: horizon}
+	if v, ok := e.memo[k]; ok {
+		return v
+	}
+	// Mark in-progress to cut accidental cycles at zero.
+	e.memo[k] = 0
+
+	own, _ := e.L.PartitionCost(n, part) // cost_{k→i}: generating p_i from its inputs
+	var worst time.Duration
+	for _, edge := range n.Parents {
+		if edge.Shuffle && e.ShuffleOK != nil && e.ShuffleOK(edge.ShuffleID) && e.shuffleAlive(edge, horizon) {
+			// The shuffle's outputs persist on local disks; recomputing
+			// the child rereads them, which is already part of cost_{k→i}.
+			continue
+		}
+		pn := e.L.NodeByKey(edge.Parent)
+		if pn == nil {
+			continue
+		}
+		pp := mapPartition(part, n.Parts, pn.Parts)
+		if e.inMemory(pn, pp, horizon) {
+			continue // (1-m_k) zeroes the ancestor term
+		}
+		rec := e.recoveryCost(pn, pp, depth+1, horizon)
+		if edge.Shuffle && e.Executors > 0 && pn.Parts > e.Executors {
+			// Regenerating a cleaned shuffle re-runs the whole parent
+			// stage: ceil(parts/executors) waves of parallel tasks.
+			waves := (pn.Parts + e.Executors - 1) / e.Executors
+			rec *= time.Duration(waves)
+		}
+		if rec > worst {
+			worst = rec
+		}
+	}
+	total := worst + own
+	e.memo[k] = total
+	return total
+}
+
+// shuffleAlive reports whether the shuffle's outputs can be counted on at
+// the horizon: the producing parent must still be alive then (releasing
+// it cleans the shuffle).
+func (e *Estimator) shuffleAlive(edge Edge, horizon int) bool {
+	if horizon < 0 || e.AliveAt == nil {
+		return true
+	}
+	return e.AliveAt(edge.Parent, horizon)
+}
+
+// recoveryCost implements Eq. 2 for an ancestor during the recursion: the
+// cheaper of reading it back from disk (only possible if it is there) and
+// recomputing it.
+func (e *Estimator) recoveryCost(n *Node, part, depth, horizon int) time.Duration {
+	rec := e.recompute(n, part, depth, horizon)
+	if e.DiskEnabled && e.onDisk(n, part, horizon) {
+		if size, ok := e.L.PartitionSize(n, part); ok {
+			d := e.Params.DiskRead(size)
+			if d < rec {
+				return d
+			}
+		}
+	}
+	return rec
+}
+
+// RecoveryCost implements Eq. 2 at the "now" horizon.
+func (e *Estimator) RecoveryCost(n *Node, part int) time.Duration {
+	return e.RecoveryCostAt(n, part, -1)
+}
+
+// RecoveryCostAt implements Eq. 2 for a decision candidate: the minimum
+// of the potential disk cost and the potential recomputation cost (only
+// the latter when the disk tier is disabled).
+func (e *Estimator) RecoveryCostAt(n *Node, part, horizon int) time.Duration {
+	rec := e.RecomputeCostAt(n, part, horizon)
+	if !e.DiskEnabled {
+		return rec
+	}
+	d := e.DiskCost(n, part)
+	if d == 0 {
+		return rec
+	}
+	if d < rec {
+		return d
+	}
+	return rec
+}
+
+// PreferDisk reports whether evicting the partition to disk is cheaper
+// than discarding and recomputing it — the per-victim state choice of
+// §4.2.
+func (e *Estimator) PreferDisk(n *Node, part int) bool {
+	return e.PreferDiskAt(n, part, -1)
+}
+
+// PreferDiskAt is PreferDisk at a job horizon.
+func (e *Estimator) PreferDiskAt(n *Node, part, horizon int) bool {
+	if !e.DiskEnabled {
+		return false
+	}
+	d := e.DiskCost(n, part)
+	if d == 0 {
+		return false
+	}
+	return d < e.RecomputeCostAt(n, part, horizon)
+}
+
+// mapPartition maps a child partition index onto a parent's partition
+// space: identity for co-partitioned (narrow) parents, a representative
+// modulo otherwise.
+func mapPartition(childPart, childParts, parentParts int) int {
+	if parentParts <= 0 {
+		return 0
+	}
+	if childParts == parentParts {
+		return childPart
+	}
+	return childPart % parentParts
+}

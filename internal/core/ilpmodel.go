@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"blaze/internal/engine"
+	"blaze/internal/ilp"
+	"blaze/internal/storage"
+)
+
+// candidate is one partition whose state the ILP decides.
+type candidate struct {
+	id     storage.BlockID
+	node   *Node
+	part   int
+	size   int64
+	weight float64 // references within the optimization window
+	inMem  bool
+	onDisk bool
+
+	costD float64 // potential disk access cost (Eq. 3), seconds
+	costR float64 // potential recomputation cost (Eq. 4), seconds
+}
+
+// ilpWindowDiscount is the weight given to resident partitions whose
+// next reference lies beyond the current+next-job window: the ILP
+// optimizes the near future (§5.5), but should not treat
+// later-referenced residents as worthless.
+const ilpWindowDiscount = 0.5
+
+// runILP solves Eq. 5-6 for every executor independently (partitions are
+// pinned to their home executors by locality, §6) and applies the
+// resulting state transitions: spills (m→d), unpersists (m→u, d→u) and
+// promotions (d→m). Results for not-yet-computed partitions are kept in
+// targetState and honored at admission time.
+func (b *Controller) runILP() {
+	b.targetState = make(map[storage.BlockID]engine.Placement)
+	met := b.c.Metrics()
+
+	for _, ex := range b.c.Executors() {
+		cands := b.gatherCandidates(ex)
+		if len(cands) == 0 {
+			continue
+		}
+
+		// Fixed point on the recursive recomputation costs (Eq. 4
+		// depends on ancestor states): price under current states, solve,
+		// re-price under the candidate assignment, solve again.
+		b.priceCandidates(cands, nil)
+		chosen := b.solve(ex, cands)
+		hypo := make(map[storage.BlockID]bool, len(cands))
+		for i, c := range cands {
+			hypo[c.id] = chosen[i]
+		}
+		b.priceCandidates(cands, hypo)
+		chosen = b.solve(ex, cands)
+		met.ILPSolves++
+
+		// Record targets and migrate existing blocks.
+		for i, c := range cands {
+			var tgt engine.Placement
+			switch {
+			case chosen[i]:
+				tgt = engine.PlaceMemory
+			case b.feat.DiskEnabled && c.costD > 0 && c.costD < c.costR:
+				tgt = engine.PlaceDisk
+			default:
+				tgt = engine.PlaceNone
+			}
+			b.targetState[c.id] = tgt
+
+			switch {
+			case c.inMem && tgt == engine.PlaceDisk:
+				if !b.diskBudgetAllows(ex, c.size) {
+					b.c.DropBlock(ex, c.id)
+					b.targetState[c.id] = engine.PlaceNone
+					continue
+				}
+				b.c.SpillBlock(ex, c.id)
+			case c.inMem && tgt == engine.PlaceNone:
+				b.c.DropBlock(ex, c.id)
+			case !c.inMem && c.onDisk && tgt == engine.PlaceMemory:
+				b.c.PromoteBlock(ex, c.id, true)
+			case c.onDisk && tgt == engine.PlaceNone:
+				b.c.DropBlock(ex, c.id)
+			}
+		}
+	}
+}
+
+// gatherCandidates collects the partitions relevant to the optimization
+// window on one executor: resident blocks (memory and disk) plus
+// predicted upcoming partitions whose metrics the CostLineage can supply
+// (observed earlier or inducted by regression).
+func (b *Controller) gatherCandidates(ex *engine.Executor) []candidate {
+	seen := make(map[storage.BlockID]bool)
+	var cands []candidate
+
+	addResident := func(id storage.BlockID, size int64, inMem, onDisk bool) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		n := b.lin.Node(id.Dataset)
+		if n == nil {
+			return
+		}
+		total := b.futureRefs(id.Dataset)
+		if total == 0 {
+			return // auto-unpersist will reclaim it
+		}
+		w := float64(b.refsInWindow(n))
+		if w == 0 {
+			w = ilpWindowDiscount
+		}
+		cands = append(cands, candidate{
+			id: id, node: n, part: id.Partition, size: size,
+			weight: w, inMem: inMem, onDisk: onDisk,
+		})
+	}
+
+	for _, m := range ex.Mem.Blocks() {
+		addResident(m.ID, m.Size, true, ex.Disk.Contains(m.ID))
+	}
+	for _, id := range ex.Disk.Blocks() {
+		if _, size, ok := ex.Disk.Get(id); ok {
+			addResident(id, size, false, true)
+		}
+	}
+
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].id.Dataset != cands[j].id.Dataset {
+			return cands[i].id.Dataset < cands[j].id.Dataset
+		}
+		return cands[i].id.Partition < cands[j].id.Partition
+	})
+	return cands
+}
+
+// priceCandidates computes cost_d and cost_r for every candidate, under
+// either the current states (hypo == nil) or a hypothetical memory
+// assignment.
+func (b *Controller) priceCandidates(cands []candidate, hypo map[storage.BlockID]bool) {
+	if hypo == nil {
+		b.est.Reset()
+	} else {
+		b.est.SetHypothetical(hypo)
+	}
+	for i := range cands {
+		c := &cands[i]
+		if b.feat.DiskEnabled {
+			c.costD = b.est.DiskCost(c.node, c.part).Seconds()
+		} else {
+			c.costD = 0
+		}
+		// Price recomputation at the candidate's next recovery horizon:
+		// ancestors that die before then cannot shortcut the chain.
+		c.costR = b.est.RecomputeCostAt(c.node, c.part, b.horizonFor(c.node, c.id.Dataset)).Seconds()
+	}
+}
+
+// solve picks the memory set. With abundant disk (the paper's default)
+// the ILP reduces exactly to a knapsack: a partition left out of memory
+// costs min(cost_d, cost_r), so memory should hold the partitions with
+// the largest recovery costs subject to capacity — see the reduction
+// note on ilp.Knapsack. With a disk capacity constraint the full binary
+// program is solved by branch and bound.
+func (b *Controller) solve(ex *engine.Executor, cands []candidate) []bool {
+	met := b.c.Metrics()
+	if b.ilpDiskCapacity <= 0 {
+		values := make([]float64, len(cands))
+		weights := make([]float64, len(cands))
+		for i, c := range cands {
+			off := c.costR
+			if b.feat.DiskEnabled && c.costD > 0 && c.costD < off {
+				off = c.costD
+			}
+			values[i] = off * c.weight
+			weights[i] = float64(c.size)
+		}
+		chosen, _ := ilp.Knapsack(values, weights, float64(ex.Mem.Capacity()))
+		met.ILPNodes += len(cands)
+		return chosen
+	}
+
+	// Full ILP with the optional disk capacity constraint (Eq. 6
+	// extension): variables (m_i, d_i, u_i) per candidate. Presolve:
+	// candidates with zero recovery cost are trivially u (keeping them
+	// anywhere saves nothing), which keeps the branch-and-bound small —
+	// the same bounding Blaze applies to keep solves under its latency
+	// budget (§5.5).
+	active := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if c.costD > 0 || c.costR > 0 {
+			active = append(active, i)
+		}
+	}
+	chosen := make([]bool, len(cands))
+	n := len(active)
+	if n == 0 {
+		return chosen
+	}
+	// Very large instances fall back to the knapsack relaxation; the
+	// disk constraint is enforced greedily afterwards by the apply step.
+	const maxExactVars = 32
+	if n > maxExactVars {
+		values := make([]float64, len(cands))
+		weights := make([]float64, len(cands))
+		for i, c := range cands {
+			off := c.costR
+			if b.feat.DiskEnabled && c.costD > 0 && c.costD < off {
+				off = c.costD
+			}
+			values[i] = off * c.weight
+			weights[i] = float64(c.size)
+		}
+		ch, _ := ilp.Knapsack(values, weights, float64(ex.Mem.Capacity()))
+		met.ILPNodes += len(cands)
+		return ch
+	}
+
+	prob := ilp.Problem{C: make([]float64, 3*n)}
+	memRow := make([]float64, 3*n)
+	diskRow := make([]float64, 3*n)
+	for j, idx := range active {
+		c := cands[idx]
+		prob.C[3*j] = 0
+		prob.C[3*j+1] = c.costD * c.weight
+		prob.C[3*j+2] = c.costR * c.weight
+		row := make([]float64, 3*n)
+		row[3*j], row[3*j+1], row[3*j+2] = 1, 1, 1
+		prob.Constraints = append(prob.Constraints, ilp.Constraint{Coeffs: row, Rel: ilp.EQ, RHS: 1})
+		memRow[3*j] = float64(c.size)
+		diskRow[3*j+1] = float64(c.size)
+		if !b.feat.DiskEnabled {
+			// Forbid the d state entirely.
+			frow := make([]float64, 3*n)
+			frow[3*j+1] = 1
+			prob.Constraints = append(prob.Constraints, ilp.Constraint{Coeffs: frow, Rel: ilp.EQ, RHS: 0})
+		}
+	}
+	prob.Constraints = append(prob.Constraints,
+		ilp.Constraint{Coeffs: memRow, Rel: ilp.LE, RHS: float64(ex.Mem.Capacity())},
+		ilp.Constraint{Coeffs: diskRow, Rel: ilp.LE, RHS: float64(b.ilpDiskCapacity)},
+	)
+	sol, err := ilp.Solve(prob, ilp.Options{MaxNodes: 2000})
+	if err != nil {
+		// Defensive: fall back to keeping current residents.
+		for i, c := range cands {
+			chosen[i] = c.inMem
+		}
+		return chosen
+	}
+	met.ILPNodes += sol.Nodes
+	for j, idx := range active {
+		chosen[idx] = sol.X[3*j] == 1
+	}
+	return chosen
+}
+
+// ProfilingOverhead returns the modeled profiling cost to charge on the
+// cluster when the controller was seeded by a dependency extraction run.
+func (b *Controller) ProfilingOverhead() time.Duration {
+	if b.profiled {
+		return DefaultProfilingOverhead
+	}
+	return 0
+}

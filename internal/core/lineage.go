@@ -1,0 +1,351 @@
+// Package core implements the paper's primary contribution: Blaze's
+// unified cost-aware caching mechanism. It contains
+//
+//   - the CostLineage (§5.3): a merged multi-job lineage of dataset
+//     "roles" across iterations, tracking per-partition metrics (size,
+//     computation time) observed during execution and inducting
+//     unobserved metrics with linear regression;
+//   - the potential recovery cost estimator (§5.4, Eq. 2-4);
+//   - the ILP-based optimal partition state solver (§5.5, Eq. 5-6);
+//   - the unified decision layer (§5.6): an engine.Controller that makes
+//     caching, eviction and recovery decisions together, replacing the
+//     three separate operational layers of existing systems;
+//   - the dependency extraction (profiling) phase (§5.1 step 1).
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"blaze/internal/dataflow"
+	"blaze/internal/regression"
+)
+
+// NodeKey identifies a dataset role instance across jobs: the congruent
+// datasets "ranks@3" of different jobs merge into one node, as the
+// CostLineage merges duplicate RDDs (Fig. 8). Ordinal disambiguates
+// datasets that share a role name within one iteration.
+type NodeKey struct {
+	Role    string
+	Iter    int
+	Ordinal int
+}
+
+// ParseName splits a dataset name "role@iter" into its role and
+// iteration. Names without '@' are iteration 0.
+func ParseName(name string) (role string, iter int) {
+	if i := strings.LastIndex(name, "@"); i >= 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i], n
+		}
+	}
+	return name, 0
+}
+
+// Edge is one lineage dependency between nodes.
+type Edge struct {
+	Parent  NodeKey
+	Shuffle bool
+	// ShuffleID identifies the shuffle whose persisted outputs (when
+	// still present) make recomputation across this edge cheap.
+	ShuffleID int
+}
+
+// Node is one dataset role instance on the CostLineage with its observed
+// and inducted per-partition metrics.
+type Node struct {
+	Key     NodeKey
+	Parents []Edge
+	// DatasetID is the id of the real dataset mapped to this node, or -1
+	// for nodes known only from profiling/induction.
+	DatasetID int
+	// Parts is the partition count (0 until known).
+	Parts int
+	// CreationJob is the job index in which the node first appeared.
+	CreationJob int
+
+	// sizes and costs hold observed per-partition metrics; observed
+	// marks which partitions have real measurements.
+	sizes    []int64
+	costs    []time.Duration
+	observed []bool
+}
+
+// roleMetrics aggregates regression series for one (role, partition)
+// across iterations, used to induct unobserved metrics (§5.3).
+type roleMetrics struct {
+	size map[int]*regression.Series // partition -> size over iteration
+	cost map[int]*regression.Series
+}
+
+// CostLineage tracks the merged workload lineage and partition metrics.
+type CostLineage struct {
+	nodes map[NodeKey]*Node
+	byID  map[int]*Node
+
+	// roleRefOffsets maps role → sorted job-index offsets (relative to a
+	// node's creation job) at which instances of the role are referenced.
+	// With profiling the offsets come from the extracted skeleton; on the
+	// run they are learned from observed jobs, which underestimates
+	// future usage until the pattern has been seen (§7.5).
+	roleRefOffsets map[string][]int
+	// roleMetrics holds the inductive regression state per role.
+	roleMetrics map[string]*roleMetrics
+
+	// Extrapolate enables one-step reference extrapolation: a role that
+	// has been referenced at two or more job offsets is assumed to be
+	// referenced one job beyond its last observed offset. This is how
+	// the on-the-run mode (no dependency extraction, §7.5) retains
+	// static datasets that every iteration reads — without it, the last
+	// observed offset always trails the current job and such data would
+	// be unpersisted after every job. Profiled lineages have complete
+	// offsets and disable it.
+	Extrapolate bool
+
+	// ordinalSeq tracks how many datasets of each (role, iter) have been
+	// registered, assigning ordinals deterministically by creation order.
+	ordinalSeq map[string]map[int]int
+
+	// jobsSeen counts jobs registered from the real run.
+	jobsSeen int
+}
+
+// NewCostLineage creates an empty lineage (the on-the-run mode). Apply a
+// profiled Skeleton with ApplySkeleton to enable full future-reference
+// knowledge.
+func NewCostLineage() *CostLineage {
+	return &CostLineage{
+		nodes:          make(map[NodeKey]*Node),
+		byID:           make(map[int]*Node),
+		roleRefOffsets: make(map[string][]int),
+		roleMetrics:    make(map[string]*roleMetrics),
+		ordinalSeq:     make(map[string]map[int]int),
+	}
+}
+
+// Node returns the lineage node for a real dataset id, or nil.
+func (l *CostLineage) Node(datasetID int) *Node { return l.byID[datasetID] }
+
+// NodeByKey returns the node for a key, or nil.
+func (l *CostLineage) NodeByKey(k NodeKey) *Node { return l.nodes[k] }
+
+// Nodes returns all nodes sorted by key for deterministic iteration.
+func (l *CostLineage) Nodes() []*Node {
+	out := make([]*Node, 0, len(l.nodes))
+	for _, n := range l.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
+	return out
+}
+
+func keyLess(a, b NodeKey) bool {
+	if a.Role != b.Role {
+		return a.Role < b.Role
+	}
+	if a.Iter != b.Iter {
+		return a.Iter < b.Iter
+	}
+	return a.Ordinal < b.Ordinal
+}
+
+// keyFor assigns the NodeKey for a dataset, disambiguating duplicate
+// (role, iter) names by creation order. seq must be reset per run so
+// profiling and the real run assign identical ordinals.
+func keyFor(seq map[string]map[int]int, ds *dataflow.Dataset) NodeKey {
+	role, iter := ParseName(ds.Name())
+	m := seq[role]
+	if m == nil {
+		m = make(map[int]int)
+		seq[role] = m
+	}
+	ord := m[iter]
+	m[iter] = ord + 1
+	return NodeKey{Role: role, Iter: iter, Ordinal: ord}
+}
+
+// RegisterDataset maps a real dataset onto the lineage, creating or
+// merging its node. Parents must already be registered (datasets are
+// created parents-first).
+func (l *CostLineage) RegisterDataset(ds *dataflow.Dataset, jobIdx int) *Node {
+	if n, ok := l.byID[ds.ID()]; ok {
+		return n
+	}
+	key := keyFor(l.ordinalSeq, ds)
+	n, ok := l.nodes[key]
+	if !ok {
+		n = &Node{Key: key, DatasetID: -1, CreationJob: jobIdx}
+		l.nodes[key] = n
+	}
+	n.DatasetID = ds.ID()
+	if n.Parts == 0 {
+		n.Parts = ds.Partitions()
+	}
+	if n.sizes == nil {
+		n.sizes = make([]int64, n.Parts)
+		n.costs = make([]time.Duration, n.Parts)
+		n.observed = make([]bool, n.Parts)
+	}
+	if len(n.Parents) == 0 {
+		for _, dep := range ds.Deps() {
+			if pn, ok := l.byID[dep.Parent.ID()]; ok {
+				n.Parents = append(n.Parents, Edge{Parent: pn.Key, Shuffle: dep.Shuffle, ShuffleID: dep.ShuffleID})
+			}
+		}
+	}
+	l.byID[ds.ID()] = n
+	return n
+}
+
+// ObserveJob records a submitted job: registers its datasets and learns
+// role reference offsets. A dataset is *referenced* by a job when the job
+// creates one of its direct children (the child's computation reads it)
+// or when it is the job's action target — not merely by being in the
+// job's transitive ancestry, since cached children truncate access to
+// older data.
+func (l *CostLineage) ObserveJob(jobIdx int, datasets []*dataflow.Dataset, target *dataflow.Dataset) {
+	for _, ds := range datasets {
+		n := l.RegisterDataset(ds, jobIdx)
+		if n.CreationJob == jobIdx {
+			// Computed this job: references each direct parent now.
+			l.addRefOffset(n.Key.Role, 0)
+			for _, e := range n.Parents {
+				if pn := l.nodes[e.Parent]; pn != nil {
+					l.addRefOffset(pn.Key.Role, jobIdx-pn.CreationJob)
+				}
+			}
+		}
+	}
+	if target != nil {
+		if tn := l.byID[target.ID()]; tn != nil {
+			l.addRefOffset(tn.Key.Role, jobIdx-tn.CreationJob)
+		}
+	}
+	if jobIdx >= l.jobsSeen {
+		l.jobsSeen = jobIdx + 1
+	}
+}
+
+func (l *CostLineage) addRefOffset(role string, off int) {
+	offs := l.roleRefOffsets[role]
+	i := sort.SearchInts(offs, off)
+	if i < len(offs) && offs[i] == off {
+		return
+	}
+	offs = append(offs, 0)
+	copy(offs[i+1:], offs[i:])
+	offs[i] = off
+	l.roleRefOffsets[role] = offs
+}
+
+// effectiveOffsets returns the role's reference offsets, extended by one
+// extrapolated step in on-the-run mode.
+func (l *CostLineage) effectiveOffsets(role string) []int {
+	offs := l.roleRefOffsets[role]
+	if !l.Extrapolate || len(offs) < 2 {
+		return offs
+	}
+	out := make([]int, len(offs), len(offs)+1)
+	copy(out, offs)
+	return append(out, offs[len(offs)-1]+1)
+}
+
+// FutureJobRefs returns how many jobs strictly after curJob are expected
+// to reference the node, based on the role's reference offsets.
+func (l *CostLineage) FutureJobRefs(n *Node, curJob int) int {
+	count := 0
+	for _, off := range l.effectiveOffsets(n.Key.Role) {
+		if n.CreationJob+off > curJob {
+			count++
+		}
+	}
+	return count
+}
+
+// LastRefJob returns the last job expected to reference the node: its
+// creation job plus the role's largest reference offset. After that job,
+// Blaze's auto-unpersist reclaims the node's partitions.
+func (l *CostLineage) LastRefJob(n *Node) int {
+	offs := l.effectiveOffsets(n.Key.Role)
+	if len(offs) == 0 {
+		return n.CreationJob
+	}
+	return n.CreationJob + offs[len(offs)-1]
+}
+
+// NextRefJob returns the index of the next job (> curJob) expected to
+// reference the node, or false.
+func (l *CostLineage) NextRefJob(n *Node, curJob int) (int, bool) {
+	for _, off := range l.effectiveOffsets(n.Key.Role) {
+		if j := n.CreationJob + off; j > curJob {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// ObservePartition records the measured size and computation time of a
+// partition (step 5 of Fig. 7: executors report metadata back) and feeds
+// the role's regression series.
+func (l *CostLineage) ObservePartition(datasetID, part int, size int64, cost time.Duration) {
+	n := l.byID[datasetID]
+	if n == nil || part >= n.Parts {
+		return
+	}
+	n.sizes[part] = size
+	n.costs[part] = cost
+	n.observed[part] = true
+
+	rm := l.roleMetrics[n.Key.Role]
+	if rm == nil {
+		rm = &roleMetrics{size: make(map[int]*regression.Series), cost: make(map[int]*regression.Series)}
+		l.roleMetrics[n.Key.Role] = rm
+	}
+	if rm.size[part] == nil {
+		rm.size[part] = &regression.Series{}
+		rm.cost[part] = &regression.Series{}
+	}
+	rm.size[part].Observe(float64(n.Key.Iter), float64(size))
+	rm.cost[part].Observe(float64(n.Key.Iter), float64(cost))
+}
+
+// PartitionSize returns the partition's size: the observation when
+// available, otherwise the role regression's induction (§5.3), otherwise
+// false.
+func (l *CostLineage) PartitionSize(n *Node, part int) (int64, bool) {
+	if n == nil {
+		return 0, false
+	}
+	if part < len(n.observed) && n.observed[part] {
+		return n.sizes[part], true
+	}
+	if rm := l.roleMetrics[n.Key.Role]; rm != nil {
+		if s := rm.size[part]; s != nil {
+			if v, ok := s.Predict(float64(n.Key.Iter)); ok {
+				return int64(v), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// PartitionCost returns the partition's computation time, observed or
+// inducted.
+func (l *CostLineage) PartitionCost(n *Node, part int) (time.Duration, bool) {
+	if n == nil {
+		return 0, false
+	}
+	if part < len(n.observed) && n.observed[part] {
+		return n.costs[part], true
+	}
+	if rm := l.roleMetrics[n.Key.Role]; rm != nil {
+		if s := rm.cost[part]; s != nil {
+			if v, ok := s.Predict(float64(n.Key.Iter)); ok {
+				return time.Duration(v), true
+			}
+		}
+	}
+	return 0, false
+}

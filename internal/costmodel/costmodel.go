@@ -1,0 +1,210 @@
+// Package costmodel defines the virtual-time cost model used by the
+// simulated cluster.
+//
+// The paper evaluates Blaze on a physical AWS cluster; this reproduction
+// replaces wall-clock measurement with a deterministic virtual clock per
+// executor. Tasks charge modeled durations derived from calibrated
+// throughput parameters: computation is proportional to the number of
+// records processed (weighted by an operator cost class), and I/O is
+// proportional to bytes moved divided by device throughput. Because every
+// system under comparison is charged from the same parameters, the
+// *ratios* between systems — which is what the paper reports — are
+// preserved while runs stay fast and reproducible.
+package costmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// OpClass categorizes operators by their per-record computational cost,
+// mirroring the paper's observation (§2.1) that simple operators like map
+// and filter use fewer resources than heavy join or groupByKey operators.
+type OpClass int
+
+const (
+	// OpSource reads or generates input data.
+	OpSource OpClass = iota
+	// OpLight covers cheap element-wise operators (map, filter).
+	OpLight
+	// OpMedium covers aggregation-style operators (reduceByKey combiners).
+	OpMedium
+	// OpHeavy covers expensive operators (join, groupByKey, model updates).
+	OpHeavy
+)
+
+// String returns the operator class name.
+func (c OpClass) String() string {
+	switch c {
+	case OpSource:
+		return "source"
+	case OpLight:
+		return "light"
+	case OpMedium:
+		return "medium"
+	case OpHeavy:
+		return "heavy"
+	default:
+		return fmt.Sprintf("OpClass(%d)", int(c))
+	}
+}
+
+// Params holds the calibrated constants of the cost model. The defaults
+// approximate the relative speeds of the paper's testbed (r5a.2xlarge with
+// gp2 SSDs and a 10 Gbps network): memory access is free, disk is the
+// bottleneck for oversized partitions, and serialization adds a
+// workload-dependent multiplier on every disk or network crossing.
+type Params struct {
+	// DiskReadBps and DiskWriteBps are the disk throughputs in bytes/sec.
+	DiskReadBps  float64
+	DiskWriteBps float64
+	// NetworkBps is the network throughput for shuffle transfers.
+	NetworkBps float64
+	// SerializeBps is the base (de)serialization throughput in bytes/sec.
+	// The time to serialize s bytes is s*SerFactor/SerializeBps.
+	SerializeBps float64
+	// SerFactor scales serialization cost per workload; the paper observes
+	// SVD++ partitions serialize 2.5-6.4x slower than other workloads.
+	SerFactor float64
+	// SourceBps is the throughput of scanning input data from external
+	// storage (HDFS/S3 in the paper's setup). Regenerating a source
+	// partition pays its bytes over this throughput in addition to the
+	// per-record parse cost, which is what makes recomputation chains
+	// that reach the sources expensive. Zero disables the charge.
+	SourceBps float64
+	// RecordCost maps an operator class to the modeled compute time spent
+	// per record processed.
+	RecordCost map[OpClass]time.Duration
+	// TaskOverhead is the fixed scheduling cost charged per task launch.
+	TaskOverhead time.Duration
+}
+
+// Default returns the baseline parameter set used throughout the
+// evaluation harness. Callers may copy and adjust individual fields.
+func Default() Params {
+	return Params{
+		DiskReadBps:  150 * 1024 * 1024, // ~gp2 SSD sequential read
+		DiskWriteBps: 110 * 1024 * 1024,
+		NetworkBps:   1.0 * 1024 * 1024 * 1024, // 10 Gbps / 8 ~ 1.25 GB/s shared
+		SerializeBps: 400 * 1024 * 1024,
+		SerFactor:    1.0,
+		RecordCost: map[OpClass]time.Duration{
+			OpSource: 150 * time.Nanosecond,
+			OpLight:  120 * time.Nanosecond,
+			OpMedium: 420 * time.Nanosecond,
+			OpHeavy:  1400 * time.Nanosecond,
+		},
+		TaskOverhead: 2 * time.Millisecond,
+	}
+}
+
+// Validate reports an error if any throughput or cost is non-positive,
+// which would make the virtual clock go backwards or divide by zero.
+func (p Params) Validate() error {
+	if p.DiskReadBps <= 0 || p.DiskWriteBps <= 0 {
+		return fmt.Errorf("costmodel: disk throughput must be positive (read=%v write=%v)", p.DiskReadBps, p.DiskWriteBps)
+	}
+	if p.NetworkBps <= 0 {
+		return fmt.Errorf("costmodel: network throughput must be positive (%v)", p.NetworkBps)
+	}
+	if p.SerializeBps <= 0 {
+		return fmt.Errorf("costmodel: serialization throughput must be positive (%v)", p.SerializeBps)
+	}
+	if p.SerFactor <= 0 {
+		return fmt.Errorf("costmodel: serialization factor must be positive (%v)", p.SerFactor)
+	}
+	for _, c := range []OpClass{OpSource, OpLight, OpMedium, OpHeavy} {
+		if p.RecordCost[c] <= 0 {
+			return fmt.Errorf("costmodel: record cost for %v must be positive", c)
+		}
+	}
+	return nil
+}
+
+// Compute returns the modeled computation time for processing n records
+// under the given operator class.
+func (p Params) Compute(class OpClass, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(n) * p.RecordCost[class]
+}
+
+// bytesOver converts a byte count and throughput into a duration.
+func bytesOver(bytes int64, bps float64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / bps * float64(time.Second))
+}
+
+// Serialize returns the modeled time to serialize (or deserialize) the
+// given number of bytes, including the workload serialization factor.
+func (p Params) Serialize(bytes int64) time.Duration {
+	return bytesOver(int64(float64(bytes)*p.SerFactor), p.SerializeBps)
+}
+
+// DiskWrite returns the modeled time to serialize and write bytes to disk.
+// Disk writes always pay serialization, matching the paper's accounting
+// ("data (de)serialization is included in the disk I/O time", Fig. 4).
+func (p Params) DiskWrite(bytes int64) time.Duration {
+	return p.Serialize(bytes) + bytesOver(bytes, p.DiskWriteBps)
+}
+
+// DiskRead returns the modeled time to read and deserialize bytes from
+// disk.
+func (p Params) DiskRead(bytes int64) time.Duration {
+	return p.Serialize(bytes) + bytesOver(bytes, p.DiskReadBps)
+}
+
+// NetTransfer returns the modeled time to move bytes across the network
+// during a shuffle.
+func (p Params) NetTransfer(bytes int64) time.Duration {
+	return bytesOver(bytes, p.NetworkBps)
+}
+
+// SourceRead returns the modeled time to scan input bytes from external
+// storage when (re)generating a source partition.
+func (p Params) SourceRead(bytes int64) time.Duration {
+	if p.SourceBps <= 0 {
+		return 0
+	}
+	return bytesOver(bytes, p.SourceBps)
+}
+
+// DiskRecoveryCost implements Eq. 3 of the paper: the potential disk
+// access cost of a partition is its size divided by the profiled disk
+// throughput. When the partition is not yet on disk the cost includes the
+// write that the spill would incur; once spilled only the read-back
+// remains.
+func (p Params) DiskRecoveryCost(bytes int64, alreadyOnDisk bool) time.Duration {
+	if alreadyOnDisk {
+		return p.DiskRead(bytes)
+	}
+	return p.DiskWrite(bytes) + p.DiskRead(bytes)
+}
+
+// Clock is a virtual clock owned by one executor. The zero value reads
+// zero and is ready to use.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative advances are ignored so
+// that modeling bugs cannot move time backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now; used at
+// stage barriers to synchronize executors.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}

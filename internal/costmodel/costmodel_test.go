@@ -1,0 +1,172 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.DiskReadBps = 0 },
+		func(p *Params) { p.DiskWriteBps = -1 },
+		func(p *Params) { p.NetworkBps = 0 },
+		func(p *Params) { p.SerializeBps = 0 },
+		func(p *Params) { p.SerFactor = 0 },
+		func(p *Params) { p.RecordCost[OpHeavy] = 0 },
+	}
+	for i, mutate := range cases {
+		p := Default()
+		// Copy the map so mutations do not leak between cases.
+		rc := make(map[OpClass]time.Duration, len(p.RecordCost))
+		for k, v := range p.RecordCost {
+			rc[k] = v
+		}
+		p.RecordCost = rc
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error, got nil", i)
+		}
+	}
+}
+
+func TestComputeScalesLinearly(t *testing.T) {
+	p := Default()
+	one := p.Compute(OpLight, 1)
+	thousand := p.Compute(OpLight, 1000)
+	if thousand != 1000*one {
+		t.Fatalf("compute not linear: 1 record=%v, 1000 records=%v", one, thousand)
+	}
+	if p.Compute(OpLight, 0) != 0 || p.Compute(OpLight, -5) != 0 {
+		t.Fatal("compute of non-positive record count should be zero")
+	}
+}
+
+func TestHeavyCostsMoreThanLight(t *testing.T) {
+	p := Default()
+	if p.Compute(OpHeavy, 100) <= p.Compute(OpLight, 100) {
+		t.Fatal("heavy operator class should cost more than light")
+	}
+}
+
+func TestDiskWriteIncludesSerialization(t *testing.T) {
+	p := Default()
+	const size = 64 * 1024 * 1024
+	withSer := p.DiskWrite(size)
+	p.SerFactor = 3.0
+	withHigherSer := p.DiskWrite(size)
+	if withHigherSer <= withSer {
+		t.Fatalf("higher serialization factor should increase disk write time: %v vs %v", withHigherSer, withSer)
+	}
+}
+
+func TestDiskRecoveryCostEq3(t *testing.T) {
+	p := Default()
+	const size = 10 * 1024 * 1024
+	full := p.DiskRecoveryCost(size, false)
+	readOnly := p.DiskRecoveryCost(size, true)
+	if full <= readOnly {
+		t.Fatalf("recovery of unspilled partition must include the write: full=%v read=%v", full, readOnly)
+	}
+	if readOnly != p.DiskRead(size) {
+		t.Fatalf("on-disk recovery should equal a read: %v vs %v", readOnly, p.DiskRead(size))
+	}
+}
+
+func TestZeroBytesZeroCost(t *testing.T) {
+	p := Default()
+	for _, d := range []time.Duration{p.DiskWrite(0), p.DiskRead(0), p.NetTransfer(0), p.Serialize(0)} {
+		if d != 0 {
+			t.Fatalf("zero bytes should cost zero time, got %v", d)
+		}
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Second)
+	c.Advance(-3 * time.Second) // ignored
+	if c.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", c.Now())
+	}
+	c.AdvanceTo(2 * time.Second) // earlier, ignored
+	if c.Now() != 5*time.Second {
+		t.Fatalf("AdvanceTo moved clock backwards: %v", c.Now())
+	}
+	c.AdvanceTo(9 * time.Second)
+	if c.Now() != 9*time.Second {
+		t.Fatalf("AdvanceTo failed: %v", c.Now())
+	}
+}
+
+// Property: virtual I/O costs are monotone non-decreasing in byte count.
+func TestCostMonotoneInBytes(t *testing.T) {
+	p := Default()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.DiskWrite(x) <= p.DiskWrite(y) &&
+			p.DiskRead(x) <= p.DiskRead(y) &&
+			p.NetTransfer(x) <= p.NetTransfer(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clocks never run backwards under any sequence of advances.
+func TestClockNeverBackwards(t *testing.T) {
+	f := func(steps []int32) bool {
+		var c Clock
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(time.Duration(s))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpClassString(t *testing.T) {
+	cases := map[OpClass]string{
+		OpSource:    "source",
+		OpLight:     "light",
+		OpMedium:    "medium",
+		OpHeavy:     "heavy",
+		OpClass(42): "OpClass(42)",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestSourceRead(t *testing.T) {
+	p := Default()
+	if p.SourceRead(1024) != 0 {
+		t.Fatal("zero SourceBps should disable the charge")
+	}
+	p.SourceBps = 1024 * 1024
+	got := p.SourceRead(1024 * 1024)
+	if got != time.Second {
+		t.Fatalf("SourceRead = %v, want 1s", got)
+	}
+	if p.SourceRead(0) != 0 {
+		t.Fatal("zero bytes should cost zero")
+	}
+}

@@ -1,0 +1,482 @@
+// Package engine executes dataflow jobs on a simulated cluster of
+// executors with virtual clocks, reproducing the execution model of
+// Spark-like systems (§2): actions trigger jobs, jobs are cut into stages
+// at shuffle boundaries, stages run as parallel tasks over partitions,
+// and cached partitions live in per-executor memory/disk block stores.
+//
+// All caching decisions — whether to cache a computed partition, which
+// victims to evict and into which state, whether to promote disk reads —
+// are delegated to a Controller. The annotation-based controllers in this
+// package model Spark, Spark+Alluxio, LRC and MRD; the Blaze controller
+// lives in internal/core.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"blaze/internal/costmodel"
+	"blaze/internal/dataflow"
+	"blaze/internal/eventlog"
+	"blaze/internal/metrics"
+	"blaze/internal/shuffle"
+	"blaze/internal/storage"
+)
+
+// debugEvict enables eviction tracing for diagnostics.
+var debugEvict = os.Getenv("BLAZE_DEBUG_EVICT") != ""
+
+// Placement is a desired location for a cached partition, mirroring the
+// paper's per-partition states m (memory), d (disk) and u (unpersisted).
+type Placement int
+
+const (
+	// PlaceNone leaves the partition uncached (state u).
+	PlaceNone Placement = iota
+	// PlaceMemory caches the partition in executor memory (state m).
+	PlaceMemory
+	// PlaceDisk stores the partition on executor disk (state d).
+	PlaceDisk
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlaceNone:
+		return "none"
+	case PlaceMemory:
+		return "memory"
+	case PlaceDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Victim is one eviction decision: the block to remove from memory and
+// whether to spill it to disk (m→d) or drop it (m→u).
+type Victim struct {
+	ID     storage.BlockID
+	ToDisk bool
+}
+
+// Controller makes all caching/eviction/recovery decisions. Exactly one
+// controller is attached per cluster.
+type Controller interface {
+	// Name identifies the system configuration in reports.
+	Name() string
+	// Bind attaches the controller to its cluster before execution.
+	Bind(c *Cluster)
+	// OnJobStart is invoked with the job DAG before stages run.
+	OnJobStart(j *Job)
+	// OnJobEnd is invoked after the job's final stage.
+	OnJobEnd(j *Job)
+	// OnStageEnd is invoked after each executed stage, with per-executor
+	// idle time available until the stage barrier (used for prefetching).
+	OnStageEnd(st *Stage, idle []time.Duration)
+	// PlaceComputed decides the placement of a freshly computed (or
+	// recomputed) partition. The fallback applies when memory admission
+	// fails (e.g. MEM+DISK Spark degrades to disk).
+	PlaceComputed(ex *Executor, ds *dataflow.Dataset, part int, size int64) (primary, fallback Placement)
+	// SelectVictims frees at least need bytes on the executor by naming
+	// victims in eviction order with their dispositions. The engine
+	// evicts them in order until enough space is free.
+	SelectVictims(ex *Executor, need int64) []Victim
+	// PromoteOnDiskRead reports whether a block just read from disk
+	// should be moved back to memory.
+	PromoteOnDiskRead(ex *Executor, id storage.BlockID) bool
+	// OnBlockAccess notifies cache hits for policy bookkeeping.
+	OnBlockAccess(ex *Executor, id storage.BlockID)
+	// OnBlockAdmitted notifies that a block entered the memory store.
+	OnBlockAdmitted(ex *Executor, id storage.BlockID)
+	// OnBlockRemoved notifies that a block left the given store tier.
+	OnBlockRemoved(ex *Executor, id storage.BlockID)
+	// OnComputed reports the observed metrics of a computed partition
+	// (Blaze records these on its CostLineage, §5.3).
+	OnComputed(ex *Executor, ds *dataflow.Dataset, part int, size int64, cost time.Duration)
+}
+
+// Executor is one simulated executor: one virtual clock per core plus
+// its block stores. Tasks for partition p always run on executor p mod E,
+// which models Spark's locality-aware scheduling (cached blocks are
+// local); within an executor, tasks are placed on the least-loaded core.
+type Executor struct {
+	ID    int
+	cores []costmodel.Clock
+	cur   int // core executing the current task
+	Mem   *storage.MemoryStore
+	Disk  *storage.DiskStore
+}
+
+// Clock returns the clock of the core running the current task; costs
+// incurred by the task (compute, I/O, migrations) advance it.
+func (ex *Executor) Clock() *costmodel.Clock { return &ex.cores[ex.cur] }
+
+// Cores returns the number of cores.
+func (ex *Executor) Cores() int { return len(ex.cores) }
+
+// MaxClock returns the executor's latest core time.
+func (ex *Executor) MaxClock() time.Duration {
+	var t time.Duration
+	for i := range ex.cores {
+		if ex.cores[i].Now() > t {
+			t = ex.cores[i].Now()
+		}
+	}
+	return t
+}
+
+// PickCore selects the least-loaded core (earliest clock, ties by index)
+// for the next task and returns its clock.
+func (ex *Executor) PickCore() *costmodel.Clock {
+	best := 0
+	for i := 1; i < len(ex.cores); i++ {
+		if ex.cores[i].Now() < ex.cores[best].Now() {
+			best = i
+		}
+	}
+	ex.cur = best
+	return &ex.cores[best]
+}
+
+// SyncTo advances every core to at least t (stage barrier).
+func (ex *Executor) SyncTo(t time.Duration) {
+	for i := range ex.cores {
+		ex.cores[i].AdvanceTo(t)
+	}
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Executors is the number of executors (E).
+	Executors int
+	// MemoryPerExecutor is the memory-store capacity per executor.
+	MemoryPerExecutor int64
+	// Params is the virtual-time cost model.
+	Params costmodel.Params
+	// Controller makes the caching decisions.
+	Controller Controller
+	// CoresPerExecutor is the number of task slots per executor
+	// (default 1). With C cores, up to C tasks of a stage overlap on one
+	// executor, so recomputation latencies across tasks overlap too —
+	// the paper's executors run 4 cores each.
+	CoresPerExecutor int
+	// AlluxioMode models caching through an external tiered store
+	// (Spark+Alluxio, §7.1): every cache write and read pays
+	// (de)serialization even on the memory tier.
+	AlluxioMode bool
+	// EventLog, when non-nil, records structured execution events
+	// (jobs, stages, tasks, cache lifecycle) for post-run auditing.
+	EventLog *eventlog.Log
+	// VerifyCodec round-trips every spilled block through the real
+	// encoding/gob codec and panics on any mismatch — a serialization
+	// correctness mode for tests (workload value types must be
+	// registered with storage.RegisterValueType).
+	VerifyCodec bool
+}
+
+// Cluster executes jobs for one dataflow context.
+type Cluster struct {
+	cfg     Config
+	ctx     *dataflow.Context
+	execs   []*Executor
+	shuffle *shuffle.Service
+	met     *metrics.App
+	ctl     Controller
+
+	log      *eventlog.Log
+	jobSeq   int
+	stageSeq int
+	// computedOnce marks partitions already computed at least once, so
+	// later computations count as recomputation (cache-miss recovery).
+	computedOnce map[storage.BlockID]bool
+	// curJob is the index of the job currently running, for attributing
+	// recomputation time (Fig. 5).
+	curJob int
+}
+
+// NewCluster creates a cluster bound to the context and installs itself
+// as the context's job runner.
+func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
+	if cfg.Executors <= 0 {
+		return nil, fmt.Errorf("engine: need at least one executor, got %d", cfg.Executors)
+	}
+	if cfg.MemoryPerExecutor <= 0 {
+		return nil, fmt.Errorf("engine: memory per executor must be positive, got %d", cfg.MemoryPerExecutor)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("engine: a cache controller is required")
+	}
+	c := &Cluster{
+		cfg:          cfg,
+		ctx:          ctx,
+		shuffle:      shuffle.NewService(),
+		met:          metrics.NewApp(cfg.Executors),
+		ctl:          cfg.Controller,
+		log:          cfg.EventLog,
+		computedOnce: make(map[storage.BlockID]bool),
+	}
+	cores := cfg.CoresPerExecutor
+	if cores <= 0 {
+		cores = 1
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		c.execs = append(c.execs, &Executor{
+			ID:    i,
+			cores: make([]costmodel.Clock, cores),
+			Mem:   storage.NewMemoryStore(cfg.MemoryPerExecutor),
+			Disk:  storage.NewDiskStore(),
+		})
+	}
+	ctx.SetRunner(c)
+	c.ctl.Bind(c)
+	return c, nil
+}
+
+// Context returns the driver context.
+func (c *Cluster) Context() *dataflow.Context { return c.ctx }
+
+// Executors returns the executors.
+func (c *Cluster) Executors() []*Executor { return c.execs }
+
+// ExecutorFor returns the home executor of a partition.
+func (c *Cluster) ExecutorFor(part int) *Executor { return c.execs[part%len(c.execs)] }
+
+// Params returns the cost model parameters.
+func (c *Cluster) Params() costmodel.Params { return c.cfg.Params }
+
+// Metrics returns the application metrics.
+func (c *Cluster) Metrics() *metrics.App { return c.met }
+
+// ShuffleComplete reports whether a shuffle's outputs are currently
+// available (controllers use this to price recomputation across stage
+// boundaries).
+func (c *Cluster) ShuffleComplete(shuffleID int) bool { return c.shuffle.Complete(shuffleID) }
+
+// emit appends an event to the attached log, stamping the dataset name.
+func (c *Cluster) emit(e eventlog.Event) {
+	if c.log == nil {
+		return
+	}
+	if e.DatasetNm == "" {
+		if ds := c.ctx.Dataset(e.Dataset); ds != nil {
+			e.DatasetNm = ds.Name()
+		}
+	}
+	c.log.Append(e)
+}
+
+// Now returns the current application time: the maximum executor clock.
+func (c *Cluster) Now() time.Duration {
+	var t time.Duration
+	for _, ex := range c.execs {
+		if m := ex.MaxClock(); m > t {
+			t = m
+		}
+	}
+	return t
+}
+
+// Finish seals the run: synchronizes clocks, records the ACT and final
+// storage statistics. Call once after the workload completes.
+func (c *Cluster) Finish() *metrics.App {
+	end := c.Now()
+	for _, ex := range c.execs {
+		ex.SyncTo(end)
+	}
+	c.met.ACT = end + c.met.ProfilingTime
+	c.met.DiskBytesWritten = 0
+	c.met.DiskPeakBytes = 0
+	for _, ex := range c.execs {
+		c.met.DiskBytesWritten += ex.Disk.TotalWritten()
+		c.met.DiskPeakBytes += ex.Disk.PeakBytes()
+	}
+	return c.met
+}
+
+// AddProfilingTime charges the dependency-extraction overhead into the
+// application completion time (Blaze includes it, §7.2).
+func (c *Cluster) AddProfilingTime(d time.Duration) { c.met.ProfilingTime += d }
+
+// Unpersist implements dataflow.JobRunner: drop every cached block of the
+// dataset from memory and disk.
+func (c *Cluster) Unpersist(d *dataflow.Dataset) {
+	c.DropDataset(d)
+}
+
+// Release implements dataflow.JobRunner: unpersist and clean the shuffle
+// outputs computed from the dataset, like Spark's ContextCleaner when an
+// RDD goes out of scope.
+func (c *Cluster) Release(d *dataflow.Dataset) {
+	c.DropDataset(d)
+	for _, ds := range c.ctx.Datasets() {
+		for _, dep := range ds.Deps() {
+			if dep.Shuffle && dep.Parent == d {
+				c.shuffle.Clean(dep.ShuffleID)
+			}
+		}
+	}
+}
+
+// DropDataset removes all cached blocks of a dataset (an unpersist: the
+// transition m→u or d→u, which is free of I/O).
+func (c *Cluster) DropDataset(d *dataflow.Dataset) {
+	dropped := false
+	for _, ex := range c.execs {
+		for p := 0; p < d.Partitions(); p++ {
+			id := storage.BlockID{Dataset: d.ID(), Partition: p}
+			if _, _, ok := ex.Mem.Remove(id); ok {
+				c.ctl.OnBlockRemoved(ex, id)
+				dropped = true
+			}
+			if _, ok := ex.Disk.Remove(id); ok {
+				c.ctl.OnBlockRemoved(ex, id)
+				dropped = true
+			}
+		}
+	}
+	if dropped {
+		c.met.Unpersists++
+	}
+}
+
+// DropBlock removes one block from both tiers without I/O cost (u state)
+// and counts the unpersist.
+func (c *Cluster) DropBlock(ex *Executor, id storage.BlockID) {
+	dropped := false
+	if _, _, ok := ex.Mem.Remove(id); ok {
+		c.ctl.OnBlockRemoved(ex, id)
+		dropped = true
+	}
+	if _, ok := ex.Disk.Remove(id); ok {
+		c.ctl.OnBlockRemoved(ex, id)
+		dropped = true
+	}
+	if dropped {
+		c.met.Unpersists++
+	}
+}
+
+// SpillBlock moves a block from memory to disk (m→d), charging the write
+// to the executor clock and the disk-I/O-for-caching bucket.
+func (c *Cluster) SpillBlock(ex *Executor, id storage.BlockID) bool {
+	recs, size, ok := ex.Mem.Remove(id)
+	if !ok {
+		return false
+	}
+	if debugEvict {
+		fmt.Fprintf(os.Stderr, "SPILL ex=%d %v ds=%s size=%d job=%d\n", ex.ID, id, c.ctx.Dataset(id.Dataset).Name(), size, c.curJob)
+	}
+	c.emit(eventlog.Event{Kind: eventlog.BlockSpilled, Time: ex.Clock().Now(), Job: c.curJob,
+		Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: size})
+	c.ctl.OnBlockRemoved(ex, id)
+	if !ex.Disk.Contains(id) {
+		if c.cfg.VerifyCodec {
+			c.verifyCodec(id, recs)
+		}
+		cost := c.cfg.Params.DiskWrite(size)
+		ex.Clock().Advance(cost)
+		c.met.Executors[ex.ID].Breakdown.DiskIO += cost
+		c.met.Executors[ex.ID].EvictedToDiskBytes += size
+		if err := ex.Disk.Put(id, recs, size); err != nil {
+			// Unreachable: Contains was checked above.
+			panic(err)
+		}
+	}
+	c.met.Executors[ex.ID].EvictedBytes += size
+	c.met.Evictions++
+	c.met.EvictionsToDisk++
+	return true
+}
+
+// verifyCodec round-trips records through the gob codec, panicking on
+// loss — enabled by Config.VerifyCodec.
+func (c *Cluster) verifyCodec(id storage.BlockID, recs []dataflow.Record) {
+	data, err := storage.EncodeRecords(recs)
+	if err != nil {
+		panic(fmt.Sprintf("engine: codec verify encode %v: %v", id, err))
+	}
+	back, err := storage.DecodeRecords(data)
+	if err != nil {
+		panic(fmt.Sprintf("engine: codec verify decode %v: %v", id, err))
+	}
+	if len(back) != len(recs) {
+		panic(fmt.Sprintf("engine: codec verify %v: %d records became %d", id, len(recs), len(back)))
+	}
+	for i := range recs {
+		if back[i].Key != recs[i].Key {
+			panic(fmt.Sprintf("engine: codec verify %v: key %d mismatch", id, i))
+		}
+	}
+}
+
+// dropFromMemory removes a block from memory only (m→u under pressure).
+func (c *Cluster) dropFromMemory(ex *Executor, id storage.BlockID) bool {
+	_, size, ok := ex.Mem.Remove(id)
+	if !ok {
+		return false
+	}
+	if debugEvict {
+		fmt.Fprintf(os.Stderr, "DROP  ex=%d %v ds=%s size=%d job=%d\n", ex.ID, id, c.ctx.Dataset(id.Dataset).Name(), size, c.curJob)
+	}
+	c.emit(eventlog.Event{Kind: eventlog.BlockDropped, Time: ex.Clock().Now(), Job: c.curJob,
+		Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: size})
+	c.ctl.OnBlockRemoved(ex, id)
+	c.met.Executors[ex.ID].EvictedBytes += size
+	c.met.Evictions++
+	return true
+}
+
+// PromoteBlock copies a block from disk into memory (d→m) if space allows
+// after evictions, charging the read. The disk copy is retained, as Spark
+// retains spilled blocks until unpersist, so a later re-eviction pays no
+// second write. Used by prefetching and by ILP migrations.
+// chargeClock=false runs the I/O in scheduling gaps (MRD's background
+// prefetch) while still accounting the disk time.
+func (c *Cluster) PromoteBlock(ex *Executor, id storage.BlockID, chargeClock bool) bool {
+	recs, size, ok := ex.Disk.Get(id)
+	if !ok || ex.Mem.Contains(id) {
+		return false
+	}
+	if size > ex.Mem.Capacity() {
+		return false
+	}
+	if !c.ensureFree(ex, size) {
+		return false
+	}
+	cost := c.cfg.Params.DiskRead(size)
+	if chargeClock {
+		ex.Clock().Advance(cost)
+	}
+	c.met.Executors[ex.ID].Breakdown.DiskIO += cost
+	if _, err := ex.Mem.Put(id, recs, size, ex.ID, ex.Clock().Now()); err != nil {
+		return false
+	}
+	c.ctl.OnBlockAdmitted(ex, id)
+	return true
+}
+
+// ensureFree evicts controller-chosen victims until at least required
+// bytes are free on the executor. Returns false if the controller could
+// not free enough.
+func (c *Cluster) ensureFree(ex *Executor, required int64) bool {
+	if ex.Mem.Free() >= required {
+		return true
+	}
+	victims := c.ctl.SelectVictims(ex, required-ex.Mem.Free())
+	for _, v := range victims {
+		if ex.Mem.Free() >= required {
+			break
+		}
+		if v.ToDisk {
+			c.SpillBlock(ex, v.ID)
+		} else {
+			c.dropFromMemory(ex, v.ID)
+		}
+	}
+	return ex.Mem.Free() >= required
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"blaze/internal/cachepolicy"
+	"blaze/internal/costmodel"
+	"blaze/internal/dataflow"
+	"blaze/internal/enginetest"
+	"blaze/internal/storage"
+)
+
+// TestFuzzEquivalenceAcrossSystems is the big correctness property: for
+// random DAGs and random programs, every controller configuration under
+// brutal eviction pressure computes exactly the reference results.
+func TestFuzzEquivalenceAcrossSystems(t *testing.T) {
+	controllers := []func() Controller{
+		func() Controller { return NewSparkMemOnly() },
+		func() Controller { return NewSparkMemDisk() },
+		func() Controller { return NewLRC(MemDisk) },
+		func() Controller { return NewMRD(MemDisk) },
+		func() Controller { return NewAnnotation("tinylfu", MemDisk, cachepolicy.NewTinyLFU(64), false) },
+		func() Controller { return NewAnnotation("lecar", MemOnly, cachepolicy.NewLeCaR(), false) },
+		func() Controller { return NewAnnotation("gdwheel", MemDisk, cachepolicy.GDWheel{}, false) },
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		want := enginetest.RefChecksums(seed)
+		for i, mk := range controllers {
+			ctl := mk()
+			ctx := dataflow.NewContext()
+			c, err := NewCluster(Config{
+				Executors:         3,
+				MemoryPerExecutor: 2048, // brutal pressure
+				Params:            costmodel.Default(),
+				Controller:        ctl,
+			}, ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := enginetest.BuildRandomProgram(seed, ctx)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d ctl %d (%s): %d checksums, want %d", seed, i, ctl.Name(), len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("seed %d ctl %d (%s): checksum %d = %d, want %d",
+						seed, i, ctl.Name(), k, got[k], want[k])
+				}
+			}
+			c.Finish()
+		}
+	}
+}
+
+// TestFailureInjection drops random cached and disk blocks between jobs —
+// modeling executor cache loss — and asserts results stay correct: the
+// lineage-based recovery (disk reload, shuffle reread, recursive
+// recomputation, stage regeneration) must reproduce every partition.
+func TestFailureInjection(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		want := enginetest.RefChecksums(seed)
+
+		ctx := dataflow.NewContext()
+		c, err := NewCluster(Config{
+			Executors:         3,
+			MemoryPerExecutor: 1 << 20,
+			Params:            costmodel.Default(),
+			Controller:        NewSparkMemDisk(),
+		}, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed * 7))
+		// Interpose on the runner: after every job, drop a random subset
+		// of blocks from both tiers.
+		inner := ctx.Runner()
+		ctx.SetRunner(&faultInjector{inner: inner, c: c, rng: rng})
+
+		got := enginetest.BuildRandomProgram(seed, ctx)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d checksums, want %d", seed, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("seed %d: checksum %d = %d, want %d after failure injection", seed, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// faultInjector wraps the cluster's job runner, killing random blocks
+// after every job.
+type faultInjector struct {
+	inner dataflow.JobRunner
+	c     *Cluster
+	rng   *rand.Rand
+}
+
+func (f *faultInjector) RunJob(target *dataflow.Dataset, action string) [][]dataflow.Record {
+	out := f.inner.RunJob(target, action)
+	for _, ex := range f.c.Executors() {
+		var ids []storage.BlockID
+		for _, m := range ex.Mem.Blocks() {
+			ids = append(ids, m.ID)
+		}
+		ids = append(ids, ex.Disk.Blocks()...)
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].Dataset != ids[j].Dataset {
+				return ids[i].Dataset < ids[j].Dataset
+			}
+			return ids[i].Partition < ids[j].Partition
+		})
+		for _, id := range ids {
+			if f.rng.Intn(3) == 0 {
+				f.c.DropBlock(ex, id)
+			}
+		}
+	}
+	return out
+}
+
+func (f *faultInjector) Unpersist(d *dataflow.Dataset) { f.inner.Unpersist(d) }
+func (f *faultInjector) Release(d *dataflow.Dataset)   { f.inner.Release(d) }

@@ -1,0 +1,452 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"blaze/internal/costmodel"
+	"blaze/internal/dataflow"
+	"blaze/internal/eventlog"
+	"blaze/internal/storage"
+)
+
+// Job is one action-triggered execution: a DAG of stages ending in a
+// result stage. In iterative workloads each iteration submits one job
+// (§2.1).
+type Job struct {
+	ID     int
+	Target *dataflow.Dataset
+	// Stages is in topological order; the result stage is last.
+	Stages []*Stage
+	// Datasets lists every dataset reachable in this job's stage
+	// pipelines, sorted by id. Dependency-aware policies (LRC, MRD) and
+	// Blaze derive reference information from it.
+	Datasets []*dataflow.Dataset
+}
+
+// Stage is a pipelined set of operators executed as parallel tasks, cut
+// at shuffle boundaries.
+type Stage struct {
+	ID    int
+	Index int
+	Job   *Job
+	// Boundary is the dataset whose partitions the stage's tasks
+	// materialize: the shuffle-map input for map stages, the action
+	// target for the result stage.
+	Boundary *dataflow.Dataset
+	// IsResult marks the final stage of a job.
+	IsResult bool
+	// ShuffleDep is the shuffle this map stage produces (valid when
+	// !IsResult); NumBuckets is the reduce-side partition count.
+	ShuffleDep dataflow.Dependency
+	NumBuckets int
+	// Pipeline lists the datasets computed within this stage: the
+	// boundary and its narrow-dependency closure, truncated at cached
+	// data. Task execution touches (hits or recomputes) these datasets.
+	Pipeline []*dataflow.Dataset
+	// Parents are the stages producing this stage's shuffle inputs.
+	Parents []*Stage
+	// Skipped records that the stage's shuffle outputs already existed.
+	Skipped bool
+	// Regenerated marks stages re-run mid-job to recover cleaned shuffle
+	// data (Spark's stage resubmission on missing shuffle files).
+	Regenerated bool
+}
+
+// shuffleRef pairs a shuffle dependency with the dataset that owns it,
+// which determines the reduce-side bucket count.
+type shuffleRef struct {
+	dep   dataflow.Dependency
+	owner *dataflow.Dataset
+}
+
+// allPartitionsAvailable reports whether every partition of the dataset
+// is cached (memory or disk) on its home executor. Mirrors Spark's
+// cache-location check that truncates lineage walks at cached RDDs.
+func (c *Cluster) allPartitionsAvailable(d *dataflow.Dataset) bool {
+	for p := 0; p < d.Partitions(); p++ {
+		ex := c.ExecutorFor(p)
+		id := storage.BlockID{Dataset: d.ID(), Partition: p}
+		if !ex.Mem.Contains(id) && !ex.Disk.Contains(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// narrowClosure walks narrow dependencies from the boundary, collecting
+// the stage pipeline and the shuffle dependencies feeding it. The walk
+// does not descend below datasets whose partitions are all cached.
+func (c *Cluster) narrowClosure(boundary *dataflow.Dataset) (pipeline []*dataflow.Dataset, shuffles []shuffleRef) {
+	seen := map[int]bool{}
+	var walk func(d *dataflow.Dataset)
+	walk = func(d *dataflow.Dataset) {
+		if seen[d.ID()] {
+			return
+		}
+		seen[d.ID()] = true
+		pipeline = append(pipeline, d)
+		if c.allPartitionsAvailable(d) {
+			// Truncated: tasks will read the cached partitions. This also
+			// applies to the boundary itself — a fully cached target needs
+			// no parent stages, exactly like Spark's cache-location check
+			// in getMissingParentStages.
+			return
+		}
+		for _, dep := range d.Deps() {
+			if dep.Shuffle {
+				shuffles = append(shuffles, shuffleRef{dep: dep, owner: d})
+			} else {
+				walk(dep.Parent)
+			}
+		}
+	}
+	walk(boundary)
+	return pipeline, shuffles
+}
+
+// buildJob constructs the stage DAG for an action on target.
+func (c *Cluster) buildJob(target *dataflow.Dataset) *Job {
+	job := &Job{ID: c.jobSeq, Target: target}
+	stageByShuffle := map[int]*Stage{}
+	dsSeen := map[int]*dataflow.Dataset{}
+
+	var build func(boundary *dataflow.Dataset, isResult bool, dep dataflow.Dependency, buckets int) *Stage
+	build = func(boundary *dataflow.Dataset, isResult bool, dep dataflow.Dependency, buckets int) *Stage {
+		st := &Stage{
+			Job:        job,
+			Boundary:   boundary,
+			IsResult:   isResult,
+			ShuffleDep: dep,
+			NumBuckets: buckets,
+		}
+		pipeline, shuffles := c.narrowClosure(boundary)
+		st.Pipeline = pipeline
+		for _, d := range pipeline {
+			dsSeen[d.ID()] = d
+		}
+		for _, sr := range shuffles {
+			if ps, ok := stageByShuffle[sr.dep.ShuffleID]; ok {
+				st.Parents = append(st.Parents, ps)
+				continue
+			}
+			// Parent stages whose shuffle outputs already exist are
+			// still represented (for reference analysis) but will be
+			// skipped at execution time.
+			ps := build(sr.dep.Parent, false, sr.dep, sr.owner.Partitions())
+			stageByShuffle[sr.dep.ShuffleID] = ps
+			st.Parents = append(st.Parents, ps)
+		}
+		st.Index = len(job.Stages)
+		st.ID = c.stageSeq
+		c.stageSeq++
+		job.Stages = append(job.Stages, st)
+		return st
+	}
+	build(target, true, dataflow.Dependency{}, 0)
+
+	job.Datasets = make([]*dataflow.Dataset, 0, len(dsSeen))
+	for _, d := range dsSeen {
+		job.Datasets = append(job.Datasets, d)
+	}
+	sort.Slice(job.Datasets, func(i, j int) bool { return job.Datasets[i].ID() < job.Datasets[j].ID() })
+	return job
+}
+
+// RunJob implements dataflow.JobRunner: build the stage DAG, run stages
+// in topological order with barriers, and return the result partitions.
+func (c *Cluster) RunJob(target *dataflow.Dataset, action string) [][]dataflow.Record {
+	if debugEvict {
+		missing := []int{}
+		for p := 0; p < target.Partitions(); p++ {
+			ex := c.ExecutorFor(p)
+			id := storage.BlockID{Dataset: target.ID(), Partition: p}
+			if !ex.Mem.Contains(id) && !ex.Disk.Contains(id) {
+				missing = append(missing, p)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "JOB %d target=%s missing=%v\n", c.jobSeq, target.Name(), missing)
+	}
+	job := c.buildJob(target)
+	c.jobSeq++
+	c.curJob = job.ID
+	c.met.Jobs++
+	c.emit(eventlog.Event{Kind: eventlog.JobStart, Time: c.Now(), Job: job.ID})
+	c.ctl.OnJobStart(job)
+
+	var results [][]dataflow.Record
+	for _, st := range job.Stages {
+		if st.IsResult {
+			results = c.runStage(st)
+		} else {
+			c.runStage(st)
+		}
+	}
+	c.ctl.OnJobEnd(job)
+	c.emit(eventlog.Event{Kind: eventlog.JobEnd, Time: c.Now(), Job: job.ID})
+	return results
+}
+
+// runStage executes one stage's tasks on their home executors and
+// applies the stage barrier. For result stages it returns the computed
+// partitions.
+func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
+	if !st.IsResult {
+		if c.shuffle.Complete(st.ShuffleDep.ShuffleID) {
+			st.Skipped = true
+			c.met.SkippedStages++
+			return nil
+		}
+		c.shuffle.Ensure(st.ShuffleDep.ShuffleID, st.NumBuckets)
+	}
+
+	var results [][]dataflow.Record
+	if st.IsResult {
+		results = make([][]dataflow.Record, st.Boundary.Partitions())
+	}
+	for p := 0; p < st.Boundary.Partitions(); p++ {
+		ex := c.ExecutorFor(p)
+		ex.PickCore() // least-loaded core runs the task
+		out := c.runTask(ex, st, p)
+		if st.IsResult {
+			results[p] = out
+		}
+	}
+	if !st.IsResult {
+		c.shuffle.MarkComplete(st.ShuffleDep.ShuffleID)
+	}
+	c.met.RanStages++
+
+	// Stage barrier: executors synchronize; the slack each executor had
+	// is reported to the controller as prefetch budget (MRD hides
+	// prefetch I/O in this idle time).
+	end := c.Now()
+	idle := make([]time.Duration, len(c.execs))
+	for i, ex := range c.execs {
+		idle[i] = end - ex.MaxClock()
+		ex.SyncTo(end)
+	}
+	c.ctl.OnStageEnd(st, idle)
+	return results
+}
+
+// runTask materializes one partition of the stage boundary and, for map
+// stages, writes the shuffle output.
+func (c *Cluster) runTask(ex *Executor, st *Stage, part int) []dataflow.Record {
+	ex.Clock().Advance(c.cfg.Params.TaskOverhead)
+	c.met.Executors[ex.ID].Tasks++
+	recs := c.materialize(ex, st.Boundary, part)
+	c.emit(eventlog.Event{Kind: eventlog.TaskEnd, Time: ex.Clock().Now(), Job: c.curJob,
+		Stage: st.ID, Executor: ex.ID, Dataset: st.Boundary.ID(), Partition: part})
+	if st.IsResult {
+		return recs
+	}
+
+	dep := st.ShuffleDep
+	buckets := make([][]dataflow.Record, st.NumBuckets)
+	if dep.Broadcast {
+		for b := range buckets {
+			buckets[b] = recs
+		}
+	} else {
+		for _, r := range recs {
+			b := dataflow.HashPartition(r.Key, st.NumBuckets)
+			buckets[b] = append(buckets[b], r)
+		}
+	}
+	var written int64
+	for b, brs := range buckets {
+		if len(brs) == 0 {
+			continue
+		}
+		if dep.Combine != nil {
+			brs = dataflow.MergeByKey(brs, dep.Combine)
+		}
+		size := storage.EstimateRecords(brs)
+		if err := c.shuffle.AddMapOutput(dep.ShuffleID, b, brs, size); err != nil {
+			panic(err) // stage was Ensure'd and not yet complete
+		}
+		written += size
+	}
+	// Shuffle write cost: serialization dominates (shuffle files land in
+	// the OS page cache); the device write is not charged, keeping the
+	// "Computation+Shuffle" bucket from drowning the cache-recovery
+	// costs the paper studies.
+	cost := c.cfg.Params.Serialize(written)
+	ex.Clock().Advance(cost)
+	c.met.Executors[ex.ID].Breakdown.Shuffle += cost
+	return recs
+}
+
+// materialize produces the records of (ds, part) on the executor:
+// memory hit, disk hit, or recursive recomputation from parents — the
+// three recovery paths of Fig. 2.
+func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []dataflow.Record {
+	id := storage.BlockID{Dataset: ds.ID(), Partition: part}
+	params := c.cfg.Params
+	stats := &c.met.Executors[ex.ID]
+
+	// 1. Memory store.
+	if recs, meta, ok := ex.Mem.Get(id, ex.Clock().Now()); ok {
+		if c.cfg.AlluxioMode {
+			// The external store serves serialized bytes even from its
+			// memory tier; every read pays deserialization (§7.2).
+			cost := params.Serialize(meta.Size)
+			ex.Clock().Advance(cost)
+			stats.Breakdown.DiskIO += cost
+		}
+		c.met.CacheHits++
+		c.ctl.OnBlockAccess(ex, id)
+		c.emit(eventlog.Event{Kind: eventlog.BlockHit, Time: ex.Clock().Now(), Job: c.curJob,
+			Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: meta.Size})
+		return recs
+	}
+
+	// 2. Disk store.
+	if recs, size, ok := ex.Disk.Get(id); ok {
+		cost := params.DiskRead(size)
+		ex.Clock().Advance(cost)
+		stats.Breakdown.DiskIO += cost
+		c.met.DiskHits++
+		c.ctl.OnBlockAccess(ex, id)
+		c.emit(eventlog.Event{Kind: eventlog.BlockDiskHit, Time: ex.Clock().Now(), Job: c.curJob,
+			Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: size, Cost: cost})
+		if c.ctl.PromoteOnDiskRead(ex, id) {
+			// The disk copy is retained (as Spark's DiskStore retains
+			// spilled blocks until unpersist); a later re-eviction of the
+			// promoted block therefore pays no second write.
+			c.admitToMemory(ex, id, recs, size)
+		}
+		return recs
+	}
+
+	// 3. Recompute from parents.
+	wasComputed := c.computedOnce[id]
+	ins := make([][]dataflow.Record, len(ds.Deps()))
+	totalIn := 0
+	var fetchCost time.Duration
+	for i, dep := range ds.Deps() {
+		if dep.Shuffle {
+			var fc time.Duration
+			ins[i], fc = c.fetchShuffle(ex, dep, ds.Partitions(), part)
+			fetchCost += fc
+		} else {
+			ins[i] = c.materialize(ex, dep.Parent, part)
+		}
+		totalIn += len(ins[i])
+	}
+	out := ds.Compute(part, ins)
+	n := totalIn
+	if len(out) > n {
+		n = len(out)
+	}
+	size := storage.EstimateRecords(out)
+	cost := params.Compute(costmodel.OpClass(ds.Class()), n)
+	if len(ds.Deps()) == 0 {
+		// Source partitions additionally pay the external input scan.
+		cost += params.SourceRead(size)
+	}
+	ex.Clock().Advance(cost)
+	stats.Breakdown.Compute += cost
+	if wasComputed {
+		stats.Breakdown.Recompute += cost
+		c.met.Misses++
+		c.met.AddRecompute(c.curJob, cost)
+		c.emit(eventlog.Event{Kind: eventlog.Recomputed, Time: ex.Clock().Now(), Job: c.curJob,
+			Executor: ex.ID, Dataset: ds.ID(), Partition: part, Cost: cost})
+	}
+	c.computedOnce[id] = true
+
+	// The reported production cost (cost_{k→i} on the CostLineage) is
+	// incremental: this partition's computation plus its own shuffle
+	// fetches, excluding recursive ancestor work (Eq. 4 sums the chain
+	// itself).
+	c.ctl.OnComputed(ex, ds, part, size, cost+fetchCost)
+
+	primary, fallback := c.ctl.PlaceComputed(ex, ds, part, size)
+	placed := false
+	if primary == PlaceMemory {
+		placed = c.admitToMemory(ex, id, out, size)
+	}
+	if !placed && (primary == PlaceDisk || (primary == PlaceMemory && fallback == PlaceDisk)) {
+		c.writeToDisk(ex, id, out, size)
+	}
+	return out
+}
+
+// admitToMemory caches a block in executor memory, evicting victims as
+// the controller directs. Returns false if space could not be freed.
+func (c *Cluster) admitToMemory(ex *Executor, id storage.BlockID, recs []dataflow.Record, size int64) bool {
+	if size > ex.Mem.Capacity() {
+		return false
+	}
+	if !c.ensureFree(ex, size) {
+		return false
+	}
+	if c.cfg.AlluxioMode {
+		cost := c.cfg.Params.Serialize(size)
+		ex.Clock().Advance(cost)
+		c.met.Executors[ex.ID].Breakdown.DiskIO += cost
+	}
+	if _, err := ex.Mem.Put(id, recs, size, ex.ID, ex.Clock().Now()); err != nil {
+		return false
+	}
+	c.ctl.OnBlockAdmitted(ex, id)
+	c.emit(eventlog.Event{Kind: eventlog.BlockAdmitted, Time: ex.Clock().Now(), Job: c.curJob,
+		Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: size})
+	return true
+}
+
+// writeToDisk stores a freshly computed block on disk (the d state),
+// charging the write.
+func (c *Cluster) writeToDisk(ex *Executor, id storage.BlockID, recs []dataflow.Record, size int64) {
+	if ex.Disk.Contains(id) {
+		return
+	}
+	if c.cfg.VerifyCodec {
+		c.verifyCodec(id, recs)
+	}
+	cost := c.cfg.Params.DiskWrite(size)
+	ex.Clock().Advance(cost)
+	c.met.Executors[ex.ID].Breakdown.DiskIO += cost
+	if err := ex.Disk.Put(id, recs, size); err != nil {
+		panic(err) // Contains was checked above
+	}
+}
+
+// fetchShuffle reads one reduce bucket, regenerating the parent stage if
+// the shuffle outputs were cleaned. It returns the records and the direct
+// fetch cost (excluding any regeneration, which is charged to its own
+// stage's tasks).
+func (c *Cluster) fetchShuffle(ex *Executor, dep dataflow.Dependency, childParts, part int) ([]dataflow.Record, time.Duration) {
+	if !c.shuffle.Complete(dep.ShuffleID) {
+		c.regenerateShuffle(dep, childParts)
+	}
+	recs, bytes, err := c.shuffle.Fetch(dep.ShuffleID, part)
+	if err != nil {
+		panic(err) // regeneration above guarantees completeness
+	}
+	cost := c.cfg.Params.NetTransfer(bytes) + c.cfg.Params.Serialize(bytes)
+	ex.Clock().Advance(cost)
+	c.met.Executors[ex.ID].Breakdown.Shuffle += cost
+	return recs, cost
+}
+
+// regenerateShuffle re-runs the map stage for a cleaned shuffle — the
+// analogue of Spark resubmitting a parent stage on missing shuffle files.
+// The regenerated stage's own missing inputs regenerate recursively
+// through its tasks, which is how recomputation lineages extend across
+// iterations (§4.3, Fig. 5).
+func (c *Cluster) regenerateShuffle(dep dataflow.Dependency, childParts int) {
+	st := &Stage{
+		ID:          c.stageSeq,
+		Boundary:    dep.Parent,
+		ShuffleDep:  dep,
+		NumBuckets:  childParts,
+		Regenerated: true,
+	}
+	c.stageSeq++
+	c.runStage(st)
+}

@@ -1,0 +1,141 @@
+// Package enginetest provides the random dataflow program generator used
+// by the equivalence property tests: random DAGs of sources, maps,
+// filters, reduces, zips and joins with random cache annotations,
+// releases and actions, deterministic per seed. Every caching system must
+// compute exactly the checksums the reference evaluator computes on the
+// same seed — under arbitrary eviction pressure and failure injection.
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blaze/internal/dataflow"
+)
+
+// BuildRandomProgram constructs and executes a random dataflow program on
+// the context (whose runner must already be attached) and returns the
+// checksums of every action's results, in action order.
+func BuildRandomProgram(seed int64, ctx *dataflow.Context) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	const parts = 4
+	var pool []*dataflow.Dataset
+
+	mk := func(i int) *dataflow.Dataset {
+		n := 20 + rng.Intn(60)
+		base := rng.Int63n(1000)
+		return ctx.Source(fmt.Sprintf("src%d@0", i), parts, func(part int) []dataflow.Record {
+			var out []dataflow.Record
+			for k := part; k < n; k += parts {
+				out = append(out, dataflow.Record{Key: base + int64(k), Value: int64(k)})
+			}
+			return out
+		})
+	}
+	for i := 0; i < 2+rng.Intn(2); i++ {
+		pool = append(pool, mk(i))
+	}
+
+	var checksums []int64
+	collect := func(d *dataflow.Dataset) {
+		var sum int64
+		for _, part := range d.Collect() {
+			for _, r := range part {
+				sum += r.Key * 31
+				if v, ok := r.Value.(int64); ok {
+					sum += v
+				}
+			}
+		}
+		checksums = append(checksums, sum)
+	}
+
+	steps := 6 + rng.Intn(8)
+	for s := 0; s < steps; s++ {
+		pick := pool[rng.Intn(len(pool))]
+		var next *dataflow.Dataset
+		switch rng.Intn(7) {
+		case 0:
+			next = pick.Map(fmt.Sprintf("map%d@%d", s, s), func(r dataflow.Record) dataflow.Record {
+				return dataflow.Record{Key: r.Key, Value: r.Value.(int64) + 1}
+			})
+		case 1:
+			next = pick.Filter(fmt.Sprintf("filter%d@%d", s, s), func(r dataflow.Record) bool {
+				return r.Key%3 != 0
+			})
+		case 2:
+			next = pick.ReduceByKey(fmt.Sprintf("reduce%d@%d", s, s), parts, func(a, b any) any {
+				return a.(int64) + b.(int64)
+			})
+		case 3:
+			other := pool[rng.Intn(len(pool))]
+			if other.Partitions() == pick.Partitions() {
+				next = dataflow.Zip(fmt.Sprintf("zip%d@%d", s, s), dataflow.OpLight, pick, other,
+					func(_ int, l, r []dataflow.Record) []dataflow.Record {
+						out := append([]dataflow.Record(nil), l...)
+						for _, rec := range r {
+							out = append(out, dataflow.Record{Key: rec.Key + 1, Value: rec.Value})
+						}
+						return out
+					})
+			} else {
+				next = pick.Map(fmt.Sprintf("map%d@%d", s, s), func(r dataflow.Record) dataflow.Record { return r })
+			}
+		case 4:
+			other := pool[rng.Intn(len(pool))]
+			next = dataflow.ShuffleJoin(fmt.Sprintf("join%d@%d", s, s), parts, pick, other,
+				func(_ int, l, r []dataflow.Record) []dataflow.Record {
+					keys := map[int64]bool{}
+					for _, rec := range r {
+						keys[rec.Key] = true
+					}
+					var out []dataflow.Record
+					for _, rec := range l {
+						if keys[rec.Key] {
+							out = append(out, rec)
+						}
+					}
+					return out
+				})
+		case 5:
+			next = pick.GroupByKey(fmt.Sprintf("group%d@%d", s, s), parts).Map(
+				fmt.Sprintf("gcount%d@%d", s, s), func(r dataflow.Record) dataflow.Record {
+					return dataflow.Record{Key: r.Key, Value: int64(len(r.Value.([]any)))}
+				})
+		case 6:
+			other := pool[rng.Intn(len(pool))]
+			next = dataflow.Barrier(fmt.Sprintf("bcast%d@%d", s, s), dataflow.OpMedium, pick, other,
+				func(_ int, l, bc []dataflow.Record) []dataflow.Record {
+					var shift int64
+					for _, r := range bc {
+						shift += r.Key % 7
+					}
+					out := make([]dataflow.Record, len(l))
+					for i, r := range l {
+						out[i] = dataflow.Record{Key: r.Key, Value: r.Value.(int64) + shift}
+					}
+					return out
+				})
+		}
+		if rng.Intn(3) == 0 {
+			next.Cache()
+		}
+		if rng.Intn(3) == 0 {
+			collect(next)
+		}
+		pool = append(pool, next)
+		if rng.Intn(6) == 0 && len(pool) > 3 {
+			victim := pool[rng.Intn(len(pool)-1)]
+			victim.Release()
+		}
+	}
+	collect(pool[len(pool)-1])
+	return checksums
+}
+
+// RefChecksums evaluates the random program on the reference evaluator.
+func RefChecksums(seed int64) []int64 {
+	ctx := dataflow.NewContext()
+	dataflow.NewLocalRunner(ctx)
+	return BuildRandomProgram(seed, ctx)
+}

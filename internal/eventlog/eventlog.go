@@ -1,0 +1,196 @@
+// Package eventlog records structured execution events — the analogue of
+// Spark's event log that powers its history server. When a Log is
+// attached to a cluster, every job, stage, task, cache and eviction event
+// is appended with its virtual timestamp; the Summary analyzer replays a
+// log into per-job and per-dataset statistics, and logs serialize to
+// JSON lines for external tooling.
+//
+// The event log is how caching decisions are audited after a run: which
+// partitions were admitted, when they were spilled or dropped, and what
+// each recovery cost.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Kind enumerates event types.
+type Kind string
+
+// Event kinds.
+const (
+	JobStart      Kind = "job_start"
+	JobEnd        Kind = "job_end"
+	StageStart    Kind = "stage_start"
+	StageEnd      Kind = "stage_end"
+	TaskEnd       Kind = "task_end"
+	BlockAdmitted Kind = "block_admitted"
+	BlockSpilled  Kind = "block_spilled"
+	BlockDropped  Kind = "block_dropped"
+	BlockHit      Kind = "block_hit"
+	BlockDiskHit  Kind = "block_disk_hit"
+	Recomputed    Kind = "recomputed"
+)
+
+// Event is one log record. Fields are populated according to Kind; zero
+// values mean "not applicable".
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Time is the virtual timestamp of the event.
+	Time time.Duration `json:"time"`
+	// Job and Stage identify scheduler scopes.
+	Job   int `json:"job,omitempty"`
+	Stage int `json:"stage,omitempty"`
+	// Executor, Dataset and Partition identify block scopes.
+	Executor  int    `json:"executor,omitempty"`
+	Dataset   int    `json:"dataset,omitempty"`
+	DatasetNm string `json:"dataset_name,omitempty"`
+	Partition int    `json:"partition,omitempty"`
+	// Bytes carries block or I/O sizes.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Cost carries the modeled duration of the event's work.
+	Cost time.Duration `json:"cost,omitempty"`
+}
+
+// Log is an in-memory, append-only event log.
+type Log struct {
+	events []Event
+}
+
+// New creates an empty log.
+func New() *Log { return &Log{} }
+
+// Append adds an event.
+func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event { return l.events }
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.events) }
+
+// WriteJSON writes the log as JSON lines.
+func (l *Log) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range l.events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("eventlog: encode: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a JSON-lines log.
+func ReadJSON(r io.Reader) (*Log, error) {
+	l := New()
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("eventlog: decode: %w", err)
+		}
+		l.Append(e)
+	}
+	return l, nil
+}
+
+// JobSummary aggregates one job's events.
+type JobSummary struct {
+	Job        int
+	Start, End time.Duration
+	Tasks      int
+	Hits       int
+	DiskHits   int
+	Recomputes int
+	Admitted   int
+	Spilled    int
+	Dropped    int
+}
+
+// DatasetSummary aggregates one dataset's cache lifecycle.
+type DatasetSummary struct {
+	Dataset       int
+	Name          string
+	Admitted      int
+	Spilled       int
+	Dropped       int
+	Hits          int
+	BytesAdmitted int64
+	BytesSpilled  int64
+}
+
+// Summary is the replayed view of a log.
+type Summary struct {
+	Jobs     []JobSummary
+	Datasets map[int]*DatasetSummary
+}
+
+// Summarize replays the log into per-job and per-dataset statistics.
+func Summarize(l *Log) *Summary {
+	s := &Summary{Datasets: make(map[int]*DatasetSummary)}
+	jobs := map[int]*JobSummary{}
+	var order []int
+	job := func(id int) *JobSummary {
+		j := jobs[id]
+		if j == nil {
+			j = &JobSummary{Job: id}
+			jobs[id] = j
+			order = append(order, id)
+		}
+		return j
+	}
+	ds := func(id int, name string) *DatasetSummary {
+		d := s.Datasets[id]
+		if d == nil {
+			d = &DatasetSummary{Dataset: id, Name: name}
+			s.Datasets[id] = d
+		}
+		if d.Name == "" {
+			d.Name = name
+		}
+		return d
+	}
+	cur := -1
+	for _, e := range l.events {
+		switch e.Kind {
+		case JobStart:
+			cur = e.Job
+			job(cur).Start = e.Time
+		case JobEnd:
+			job(e.Job).End = e.Time
+		case TaskEnd:
+			job(cur).Tasks++
+		case BlockHit:
+			job(cur).Hits++
+			ds(e.Dataset, e.DatasetNm).Hits++
+		case BlockDiskHit:
+			job(cur).DiskHits++
+		case Recomputed:
+			job(cur).Recomputes++
+		case BlockAdmitted:
+			job(cur).Admitted++
+			d := ds(e.Dataset, e.DatasetNm)
+			d.Admitted++
+			d.BytesAdmitted += e.Bytes
+		case BlockSpilled:
+			job(cur).Spilled++
+			d := ds(e.Dataset, e.DatasetNm)
+			d.Spilled++
+			d.BytesSpilled += e.Bytes
+		case BlockDropped:
+			job(cur).Dropped++
+			ds(e.Dataset, e.DatasetNm).Dropped++
+		}
+	}
+	for _, id := range order {
+		s.Jobs = append(s.Jobs, *jobs[id])
+	}
+	return s
+}

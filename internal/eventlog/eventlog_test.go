@@ -1,0 +1,90 @@
+package eventlog
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func sample() *Log {
+	l := New()
+	l.Append(Event{Kind: JobStart, Job: 0, Time: 0})
+	l.Append(Event{Kind: TaskEnd, Job: 0, Time: time.Millisecond, Executor: 1, Dataset: 3, Partition: 0})
+	l.Append(Event{Kind: BlockAdmitted, Job: 0, Dataset: 3, DatasetNm: "ranks@1", Partition: 0, Bytes: 100})
+	l.Append(Event{Kind: BlockHit, Job: 0, Dataset: 3, DatasetNm: "ranks@1", Partition: 0, Bytes: 100})
+	l.Append(Event{Kind: BlockSpilled, Job: 0, Dataset: 3, DatasetNm: "ranks@1", Partition: 0, Bytes: 100})
+	l.Append(Event{Kind: JobEnd, Job: 0, Time: 2 * time.Millisecond})
+	l.Append(Event{Kind: JobStart, Job: 1, Time: 2 * time.Millisecond})
+	l.Append(Event{Kind: Recomputed, Job: 1, Dataset: 3, Partition: 0, Cost: time.Millisecond})
+	l.Append(Event{Kind: BlockDropped, Job: 1, Dataset: 3, DatasetNm: "ranks@1", Partition: 0, Bytes: 100})
+	l.Append(Event{Kind: JobEnd, Job: 1, Time: 5 * time.Millisecond})
+	return l
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := sample()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("round trip %d events, want %d", back.Len(), l.Len())
+	}
+	for i, e := range back.Events() {
+		if e != l.Events()[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, e, l.Events()[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Fatal("garbage should not parse")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sample())
+	if len(s.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(s.Jobs))
+	}
+	j0 := s.Jobs[0]
+	if j0.Tasks != 1 || j0.Hits != 1 || j0.Admitted != 1 || j0.Spilled != 1 {
+		t.Fatalf("job0 = %+v", j0)
+	}
+	if j0.End != 2*time.Millisecond {
+		t.Fatalf("job0 end = %v", j0.End)
+	}
+	j1 := s.Jobs[1]
+	if j1.Recomputes != 1 || j1.Dropped != 1 {
+		t.Fatalf("job1 = %+v", j1)
+	}
+	d := s.Datasets[3]
+	if d == nil || d.Name != "ranks@1" {
+		t.Fatalf("dataset summary = %+v", d)
+	}
+	if d.Admitted != 1 || d.Spilled != 1 || d.Dropped != 1 || d.Hits != 1 {
+		t.Fatalf("dataset counts = %+v", d)
+	}
+	if d.BytesAdmitted != 100 || d.BytesSpilled != 100 {
+		t.Fatalf("dataset bytes = %+v", d)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	s := Summarize(New())
+	if len(s.Jobs) != 0 || len(s.Datasets) != 0 {
+		t.Fatal("empty log should summarize to nothing")
+	}
+	var buf bytes.Buffer
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("empty log should write nothing")
+	}
+}

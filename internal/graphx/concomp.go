@@ -1,0 +1,131 @@
+package graphx
+
+import (
+	"blaze/internal/dataflow"
+	"blaze/internal/datagen"
+)
+
+// VertexLabel is the per-vertex state of the component graph, carrying
+// adjacency and current label through the iterations like GraphX's
+// Pregel-based ConnectedComponents.
+type VertexLabel struct {
+	Adj   []int64
+	Label int64
+}
+
+// SizeBytes implements storage.Sized.
+func (v VertexLabel) SizeBytes() int64 { return 40 + 8*int64(len(v.Adj)) }
+
+// ConnectedComponentsConfig parameterizes the CC workload. The paper uses
+// the same input graph as PR (§7.1), viewed undirected.
+type ConnectedComponentsConfig struct {
+	Graph    datagen.GraphSpec
+	Parts    int
+	MaxIters int
+	Annotate bool
+}
+
+func (c ConnectedComponentsConfig) withDefaults() ConnectedComponentsConfig {
+	if c.Parts == 0 {
+		c.Parts = 8
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 15
+	}
+	c.Graph.Symmetric = true
+	return c
+}
+
+// ConnectedComponents runs label propagation until convergence (or
+// MaxIters) and returns the component label per vertex. Each iteration
+// submits one job; the driver checks convergence on the collected
+// labels, as GraphX's Pregel loop checks the message count.
+func ConnectedComponents(ctx *dataflow.Context, cfg ConnectedComponentsConfig) map[int64]int64 {
+	cfg = cfg.withDefaults()
+	adj := adjacencySource(ctx, "cc-adj@0", cfg.Graph, cfg.Parts)
+	graph := adj.Map("cc-graph@0", func(r dataflow.Record) dataflow.Record {
+		return dataflow.Record{Key: r.Key, Value: VertexLabel{Adj: r.Value.(AdjList).Dsts, Label: r.Key}}
+	})
+	if cfg.Annotate {
+		graph.Cache()
+	}
+
+	collect := func(d *dataflow.Dataset) map[int64]int64 {
+		out := make(map[int64]int64)
+		for _, part := range d.Collect() {
+			for _, r := range part {
+				out[r.Key] = r.Value.(VertexLabel).Label
+			}
+		}
+		return out
+	}
+
+	cur := make(map[int64]int64)
+	// Released with cleaner lag, as in PageRank.
+	var releaseQueue []*dataflow.Dataset
+	for it := 1; it <= cfg.MaxIters; it++ {
+		msgs := graph.FlatMap(name("cc-msgs", it), func(r dataflow.Record) []dataflow.Record {
+			v := r.Value.(VertexLabel)
+			out := make([]dataflow.Record, len(v.Adj))
+			for i, dst := range v.Adj {
+				out[i] = dataflow.Record{Key: dst, Value: v.Label}
+			}
+			return out
+		})
+		mins := msgs.ReduceByKey(name("cc-mins", it), cfg.Parts, func(a, b any) any {
+			if a.(int64) < b.(int64) {
+				return a
+			}
+			return b
+		})
+		newGraph := dataflow.Zip(name("cc-graph", it), dataflow.OpLight, graph, mins,
+			func(_ int, gs, ms []dataflow.Record) []dataflow.Record {
+				minOf := vertexMap(ms)
+				out := make([]dataflow.Record, len(gs))
+				for i, g := range gs {
+					v := g.Value.(VertexLabel)
+					lbl := v.Label
+					if mv, ok := minOf[g.Key]; ok && mv.(int64) < lbl {
+						lbl = mv.(int64)
+					}
+					out[i] = dataflow.Record{Key: g.Key, Value: VertexLabel{Adj: v.Adj, Label: lbl}}
+				}
+				return out
+			})
+		if cfg.Annotate {
+			newGraph.Cache()
+		}
+		next := collect(newGraph) // the iteration's job
+
+		releaseQueue = append(releaseQueue, graph, msgs)
+		for len(releaseQueue) > 4 {
+			releaseQueue[0].Release()
+			releaseQueue = releaseQueue[1:]
+		}
+		graph = newGraph
+
+		converged := len(cur) == len(next)
+		if converged {
+			for k, v := range next {
+				if cur[k] != v {
+					converged = false
+					break
+				}
+			}
+		}
+		cur = next
+		if converged {
+			break
+		}
+	}
+	return cur
+}
+
+// ConnectedComponentsWorkload wraps CC as a profile-compatible workload.
+func ConnectedComponentsWorkload(cfg ConnectedComponentsConfig) func(ctx *dataflow.Context, scale float64) {
+	return func(ctx *dataflow.Context, scale float64) {
+		c := cfg.withDefaults()
+		c.Graph.Vertices = scaled(c.Graph.Vertices, scale)
+		ConnectedComponents(ctx, c)
+	}
+}

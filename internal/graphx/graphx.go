@@ -1,0 +1,93 @@
+// Package graphx implements the graph processing substrate the
+// evaluation workloads need: a compact adjacency representation on the
+// dataflow API and the PageRank, Connected Components and SVD++
+// algorithms, following the iteration and cache()/unpersist() annotation
+// choreography of Spark GraphX (Fig. 1): each iteration submits one job,
+// caches its new datasets, and releases the previous iteration's
+// datasets once superseded — which also lets the engine clean their
+// shuffle outputs, creating the long recomputation lineages of Fig. 5
+// when cached data is lost.
+package graphx
+
+import (
+	"fmt"
+	"sync"
+
+	"blaze/internal/dataflow"
+	"blaze/internal/datagen"
+)
+
+// AdjList is the adjacency of one vertex. It implements storage.Sized so
+// partition sizes reflect the power-law degree skew.
+type AdjList struct {
+	Dsts []int64
+}
+
+// SizeBytes implements storage.Sized.
+func (a AdjList) SizeBytes() int64 { return 24 + 8*int64(len(a.Dsts)) }
+
+// adjCache memoizes generated adjacency partitions across recomputations
+// and runs: generation is deterministic and records are immutable, so
+// caching only saves real wall time — the engine still charges the full
+// modeled computation cost on every (re)generation.
+var adjCache sync.Map
+
+type adjKey struct {
+	spec  datagen.GraphSpec
+	parts int
+	part  int
+}
+
+// adjacencySource builds the vertex-partitioned adjacency dataset: vertex
+// v lives in partition HashPartition(v, parts), co-partitioned with every
+// dataset shuffled by vertex key.
+func adjacencySource(ctx *dataflow.Context, name string, spec datagen.GraphSpec, parts int) *dataflow.Dataset {
+	return ctx.Source(name, parts, func(part int) []dataflow.Record {
+		key := adjKey{spec: spec, parts: parts, part: part}
+		if v, ok := adjCache.Load(key); ok {
+			return v.([]dataflow.Record)
+		}
+		var out []dataflow.Record
+		defer func() { adjCache.Store(key, out) }()
+		if spec.Symmetric {
+			// Symmetric view: collect both out-edges and in-edges for the
+			// partition's vertices in one deterministic sweep.
+			adj := make(map[int64][]int64)
+			for v := int64(0); v < int64(spec.Vertices); v++ {
+				mine := dataflow.HashPartition(v, parts) == part
+				for _, u := range spec.Neighbors(v) {
+					if mine {
+						adj[v] = append(adj[v], u)
+					}
+					if dataflow.HashPartition(u, parts) == part {
+						adj[u] = append(adj[u], v)
+					}
+				}
+			}
+			for v := int64(0); v < int64(spec.Vertices); v++ {
+				if dataflow.HashPartition(v, parts) == part {
+					out = append(out, dataflow.Record{Key: v, Value: AdjList{Dsts: adj[v]}})
+				}
+			}
+			return out
+		}
+		for v := int64(0); v < int64(spec.Vertices); v++ {
+			if dataflow.HashPartition(v, parts) == part {
+				out = append(out, dataflow.Record{Key: v, Value: AdjList{Dsts: spec.Neighbors(v)}})
+			}
+		}
+		return out
+	})
+}
+
+// vertexMap builds a key→value index for one co-partitioned partition.
+func vertexMap(recs []dataflow.Record) map[int64]any {
+	m := make(map[int64]any, len(recs))
+	for _, r := range recs {
+		m[r.Key] = r.Value
+	}
+	return m
+}
+
+// name formats a role@iteration dataset name.
+func name(role string, it int) string { return fmt.Sprintf("%s@%d", role, it) }

@@ -1,0 +1,298 @@
+// Package ilp provides a small, dependency-free exact solver for the
+// binary integer linear programs Blaze formulates (§5.5, Eq. 5-6).
+//
+// The paper uses the commercial Gurobi optimizer; this reproduction
+// implements the same functionality from scratch: a dense two-phase
+// primal simplex for the LP relaxation, a branch-and-bound search over
+// binary variables, and a specialized branch-and-bound 0/1 knapsack fast
+// path for the disk-unconstrained case where the Blaze ILP provably
+// reduces to a knapsack (see internal/core).
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is the comparison direction of a linear constraint.
+type Relation int
+
+const (
+	// LE constrains a·x <= b.
+	LE Relation = iota
+	// GE constrains a·x >= b.
+	GE
+	// EQ constrains a·x == b.
+	EQ
+)
+
+// Constraint is one linear constraint over the decision variables.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// LPStatus describes the outcome of an LP solve.
+type LPStatus int
+
+const (
+	// LPOptimal means an optimal vertex was found.
+	LPOptimal LPStatus = iota
+	// LPInfeasible means the constraints admit no solution.
+	LPInfeasible
+	// LPUnbounded means the objective decreases without bound.
+	LPUnbounded
+)
+
+func (s LPStatus) String() string {
+	switch s {
+	case LPOptimal:
+		return "optimal"
+	case LPInfeasible:
+		return "infeasible"
+	case LPUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("LPStatus(%d)", int(s))
+	}
+}
+
+const eps = 1e-9
+
+// solveLP minimizes c·x subject to the given constraints and 0 <= x_i <= 1
+// for every variable, using a two-phase dense simplex with Bland's rule
+// (which guarantees termination by preventing cycling).
+//
+// The variable upper bounds are appended internally as <= 1 rows, so
+// callers pass only the structural constraints.
+func solveLP(c []float64, cons []Constraint) (x []float64, obj float64, status LPStatus) {
+	n := len(c)
+	// Assemble the full constraint list including variable upper bounds.
+	all := make([]Constraint, 0, len(cons)+n)
+	all = append(all, cons...)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		row[i] = 1
+		all = append(all, Constraint{Coeffs: row, Rel: LE, RHS: 1})
+	}
+	m := len(all)
+
+	// Standard form: every row gets RHS >= 0; <= rows get a slack,
+	// >= rows get a surplus and an artificial, == rows get an artificial.
+	type rowSpec struct {
+		coeffs []float64
+		rhs    float64
+		rel    Relation
+	}
+	rows := make([]rowSpec, m)
+	numSlack, numArt := 0, 0
+	for i, con := range all {
+		if len(con.Coeffs) != n {
+			return nil, 0, LPInfeasible
+		}
+		coeffs := append([]float64(nil), con.Coeffs...)
+		rhs := con.RHS
+		rel := con.Rel
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowSpec{coeffs, rhs, rel}
+		switch rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+
+	total := n + numSlack + numArt
+	// tab has m rows of (total coefficients + rhs).
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackIdx, artIdx := n, n+numSlack
+	artCols := make([]int, 0, numArt)
+	for i, r := range rows {
+		row := make([]float64, total+1)
+		copy(row, r.coeffs)
+		row[total] = r.rhs
+		switch r.rel {
+		case LE:
+			row[slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artIdx] = 1
+			basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		}
+		tab[i] = row
+	}
+
+	pivot := func(obj []float64, allowed int) LPStatus {
+		for {
+			// Entering variable: Bland's rule — smallest index with a
+			// negative reduced cost.
+			col := -1
+			for j := 0; j < allowed; j++ {
+				if obj[j] < -eps {
+					col = j
+					break
+				}
+			}
+			if col == -1 {
+				return LPOptimal
+			}
+			// Leaving variable: minimum ratio, ties by smallest basis index.
+			row := -1
+			best := math.Inf(1)
+			for i := 0; i < m; i++ {
+				a := tab[i][col]
+				if a > eps {
+					ratio := tab[i][total] / a
+					if ratio < best-eps || (math.Abs(ratio-best) <= eps && (row == -1 || basis[i] < basis[row])) {
+						best = ratio
+						row = i
+					}
+				}
+			}
+			if row == -1 {
+				return LPUnbounded
+			}
+			// Pivot on (row, col).
+			p := tab[row][col]
+			for j := 0; j <= total; j++ {
+				tab[row][j] /= p
+			}
+			for i := 0; i < m; i++ {
+				if i == row {
+					continue
+				}
+				f := tab[i][col]
+				if f != 0 {
+					for j := 0; j <= total; j++ {
+						tab[i][j] -= f * tab[row][j]
+					}
+				}
+			}
+			f := obj[col]
+			if f != 0 {
+				for j := 0; j <= total; j++ {
+					obj[j] -= f * tab[row][j]
+				}
+			}
+			basis[row] = col
+		}
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if numArt > 0 {
+		phase1 := make([]float64, total+1)
+		for _, j := range artCols {
+			phase1[j] = 1
+		}
+		// Express the phase-1 objective in terms of non-basic variables.
+		for i, b := range basis {
+			if phase1[b] != 0 {
+				f := phase1[b]
+				for j := 0; j <= total; j++ {
+					phase1[j] -= f * tab[i][j]
+				}
+			}
+		}
+		if st := pivot(phase1, total); st == LPUnbounded {
+			return nil, 0, LPInfeasible
+		}
+		if -phase1[total] > 1e-6 {
+			return nil, 0, LPInfeasible
+		}
+		// Drive any artificial variables still in the basis out of it.
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+numSlack {
+				moved := false
+				for j := 0; j < n+numSlack; j++ {
+					if math.Abs(tab[i][j]) > eps {
+						p := tab[i][j]
+						for k := 0; k <= total; k++ {
+							tab[i][k] /= p
+						}
+						for r := 0; r < m; r++ {
+							if r == i {
+								continue
+							}
+							f := tab[r][j]
+							if f != 0 {
+								for k := 0; k <= total; k++ {
+									tab[r][k] -= f * tab[i][k]
+								}
+							}
+						}
+						basis[i] = j
+						moved = true
+						break
+					}
+				}
+				if !moved {
+					// Redundant row; leave the artificial at zero.
+					continue
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective over structural+slack columns.
+	phase2 := make([]float64, total+1)
+	copy(phase2, c)
+	for i, b := range basis {
+		if b < len(c) && phase2[b] != 0 {
+			f := phase2[b]
+			for j := 0; j <= total; j++ {
+				phase2[j] -= f * tab[i][j]
+			}
+		}
+	}
+	// Artificials are forbidden from re-entering: restrict entering columns
+	// to structural + slack variables.
+	if st := pivot(phase2, n+numSlack); st == LPUnbounded {
+		return nil, 0, LPUnbounded
+	}
+
+	x = make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	obj = 0
+	for i := range x {
+		// Clamp tiny numerical noise into [0,1].
+		if x[i] < 0 {
+			x[i] = 0
+		}
+		if x[i] > 1 {
+			x[i] = 1
+		}
+		obj += c[i] * x[i]
+	}
+	return x, obj, LPOptimal
+}

@@ -1,0 +1,137 @@
+// Package metrics accumulates the per-task and per-application accounting
+// the paper's evaluation reports: accumulated task execution times split
+// into computation+shuffle and disk-I/O-for-caching (Fig. 4, Fig. 10),
+// eviction counts and recomputation times (Fig. 12), per-iteration
+// recomputation (Fig. 5), per-executor evicted bytes (Fig. 3), and disk
+// footprints (§7.2).
+package metrics
+
+import "time"
+
+// Breakdown splits accumulated task time by cause. Recompute is a subset
+// of Compute: the computation time spent re-deriving partitions that had
+// already been computed before (the recovery cost of recomputation-based
+// caching).
+type Breakdown struct {
+	Compute   time.Duration
+	Shuffle   time.Duration
+	DiskIO    time.Duration
+	Recompute time.Duration
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Compute += o.Compute
+	b.Shuffle += o.Shuffle
+	b.DiskIO += o.DiskIO
+	b.Recompute += o.Recompute
+}
+
+// Total returns the accumulated task execution time: computation
+// (including recomputation), shuffle, and disk I/O for caching.
+func (b Breakdown) Total() time.Duration {
+	return b.Compute + b.Shuffle + b.DiskIO
+}
+
+// ComputeShuffle returns the paper's "Computation+Shuffle" bucket.
+func (b Breakdown) ComputeShuffle() time.Duration {
+	return b.Compute + b.Shuffle
+}
+
+// ExecutorStats aggregates activity on one executor.
+type ExecutorStats struct {
+	Breakdown Breakdown
+	// EvictedBytes counts bytes evicted from this executor's memory
+	// store (to disk or dropped), the quantity Fig. 3 plots.
+	EvictedBytes int64
+	// EvictedToDiskBytes counts the subset spilled to disk.
+	EvictedToDiskBytes int64
+	// Tasks counts tasks executed.
+	Tasks int
+}
+
+// App aggregates one application run.
+type App struct {
+	Executors []ExecutorStats
+
+	// Evictions counts memory-store evictions under pressure
+	// (m→d and m→u transitions, §7.1 "Terms").
+	Evictions int
+	// EvictionsToDisk counts the subset that spilled (m→d).
+	EvictionsToDisk int
+	// Unpersists counts explicit or automatic unpersist operations.
+	Unpersists int
+
+	// CacheHits counts memory-store hits; DiskHits disk-store hits;
+	// Misses accesses that required recomputation of a previously
+	// computed partition.
+	CacheHits int
+	DiskHits  int
+	Misses    int
+
+	// RecomputeByJob records the recomputation time incurred during each
+	// job (jobs are iterations in iterative workloads), feeding Fig. 5.
+	RecomputeByJob []time.Duration
+
+	// ILPSolves and ILPNodes record optimizer activity for Blaze.
+	ILPSolves int
+	ILPNodes  int
+
+	// ProfilingTime is the virtual time spent in Blaze's dependency
+	// extraction phase, included in the ACT per §7.2.
+	ProfilingTime time.Duration
+
+	// ACT is the application completion time (end-to-end virtual time).
+	ACT time.Duration
+
+	// DiskBytesWritten is the cumulative cache data written to disk;
+	// DiskPeakBytes the peak on-disk footprint.
+	DiskBytesWritten int64
+	DiskPeakBytes    int64
+
+	// Jobs, RanStages and SkippedStages count scheduler activity.
+	Jobs          int
+	RanStages     int
+	SkippedStages int
+}
+
+// NewApp creates metrics for a cluster with the given executor count.
+func NewApp(executors int) *App {
+	return &App{Executors: make([]ExecutorStats, executors)}
+}
+
+// TotalBreakdown sums the per-executor breakdowns.
+func (a *App) TotalBreakdown() Breakdown {
+	var b Breakdown
+	for i := range a.Executors {
+		b.Add(a.Executors[i].Breakdown)
+	}
+	return b
+}
+
+// TotalEvictedBytes sums evicted bytes across executors.
+func (a *App) TotalEvictedBytes() int64 {
+	var n int64
+	for i := range a.Executors {
+		n += a.Executors[i].EvictedBytes
+	}
+	return n
+}
+
+// AddRecompute attributes recomputation time to a job index, growing the
+// per-job series as needed.
+func (a *App) AddRecompute(job int, d time.Duration) {
+	for len(a.RecomputeByJob) <= job {
+		a.RecomputeByJob = append(a.RecomputeByJob, 0)
+	}
+	a.RecomputeByJob[job] += d
+}
+
+// TotalRecompute sums recomputation time across jobs.
+func (a *App) TotalRecompute() time.Duration {
+	var t time.Duration
+	for _, d := range a.RecomputeByJob {
+		t += d
+	}
+	return t
+}

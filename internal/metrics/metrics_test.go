@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakdownAddAndTotals(t *testing.T) {
+	var b Breakdown
+	b.Add(Breakdown{Compute: 5 * time.Second, Shuffle: 2 * time.Second, DiskIO: 3 * time.Second, Recompute: time.Second})
+	b.Add(Breakdown{Compute: 1 * time.Second})
+	if b.Total() != 11*time.Second {
+		t.Fatalf("total = %v, want 11s", b.Total())
+	}
+	if b.ComputeShuffle() != 8*time.Second {
+		t.Fatalf("compute+shuffle = %v, want 8s", b.ComputeShuffle())
+	}
+	if b.Recompute != time.Second {
+		t.Fatalf("recompute = %v", b.Recompute)
+	}
+}
+
+func TestAppAggregation(t *testing.T) {
+	a := NewApp(3)
+	a.Executors[0].Breakdown.Compute = time.Second
+	a.Executors[2].Breakdown.DiskIO = 2 * time.Second
+	a.Executors[1].EvictedBytes = 100
+	a.Executors[2].EvictedBytes = 50
+	tb := a.TotalBreakdown()
+	if tb.Compute != time.Second || tb.DiskIO != 2*time.Second {
+		t.Fatalf("total breakdown = %+v", tb)
+	}
+	if a.TotalEvictedBytes() != 150 {
+		t.Fatalf("evicted = %d, want 150", a.TotalEvictedBytes())
+	}
+}
+
+func TestAddRecomputeGrowsSeries(t *testing.T) {
+	a := NewApp(1)
+	a.AddRecompute(3, 2*time.Second)
+	a.AddRecompute(1, time.Second)
+	a.AddRecompute(3, time.Second)
+	if len(a.RecomputeByJob) != 4 {
+		t.Fatalf("series length = %d, want 4", len(a.RecomputeByJob))
+	}
+	if a.RecomputeByJob[3] != 3*time.Second || a.RecomputeByJob[1] != time.Second {
+		t.Fatalf("series = %v", a.RecomputeByJob)
+	}
+	if a.TotalRecompute() != 4*time.Second {
+		t.Fatalf("total recompute = %v", a.TotalRecompute())
+	}
+}

@@ -1,0 +1,357 @@
+package mllib
+
+import (
+	"sort"
+
+	"blaze/internal/dataflow"
+	"blaze/internal/datagen"
+)
+
+// GBTConfig parameterizes the gradient boosted trees workload (§7.1:
+// HiBench LibSVM-style data; the paper notes GBT's models grow large due
+// to the tree structures, which drives its disk I/O behaviour).
+type GBTConfig struct {
+	Points    datagen.PointsSpec
+	Parts     int
+	Trees     int
+	Depth     int
+	Bins      int
+	LearnRate float64
+	Annotate  bool
+}
+
+func (c GBTConfig) withDefaults() GBTConfig {
+	if c.Parts == 0 {
+		c.Parts = 8
+	}
+	if c.Trees == 0 {
+		c.Trees = 5
+	}
+	if c.Depth == 0 {
+		c.Depth = 3
+	}
+	if c.Bins == 0 {
+		c.Bins = 8
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.3
+	}
+	return c
+}
+
+// split is one internal decision, indexed by heap position (root = 1).
+type split struct {
+	Feature   int
+	Threshold float64
+}
+
+// GBTModel is the boosted ensemble: per tree, the split map and the leaf
+// values by heap index. It implements storage.Sized with a footprint
+// proportional to the total node count, modeling the growing model size
+// the paper attributes to GBT.
+type GBTModel struct {
+	TreeSplits []map[int]split
+	TreeLeaves []map[int]float64
+	LearnRate  float64
+	Base       float64
+}
+
+// SizeBytes implements storage.Sized.
+func (m GBTModel) SizeBytes() int64 {
+	n := 0
+	for i := range m.TreeSplits {
+		n += len(m.TreeSplits[i]) + len(m.TreeLeaves[i])
+	}
+	return 64 + 48*int64(n)
+}
+
+// predictTree evaluates one tree on x.
+func predictTree(splits map[int]split, leaves map[int]float64, x []float64) float64 {
+	node := 1
+	for {
+		if v, ok := leaves[node]; ok {
+			return v
+		}
+		s, ok := splits[node]
+		if !ok {
+			return 0
+		}
+		if x[s.Feature] <= s.Threshold {
+			node = 2 * node
+		} else {
+			node = 2*node + 1
+		}
+	}
+}
+
+// Predict evaluates the ensemble on x.
+func (m GBTModel) Predict(x []float64) float64 {
+	out := m.Base
+	for i := range m.TreeSplits {
+		out += m.LearnRate * predictTree(m.TreeSplits[i], m.TreeLeaves[i], x)
+	}
+	return out
+}
+
+// binStats accumulates residual statistics for one (node, feature, bin).
+type binStats struct {
+	Sum float64
+	Sq  float64
+	N   float64
+}
+
+// binEdges are quantile-style thresholds for standard-normal features.
+func binEdges(bins int) []float64 {
+	edges := make([]float64, bins-1)
+	for i := range edges {
+		edges[i] = -2.0 + 4.0*float64(i+1)/float64(bins)
+	}
+	return edges
+}
+
+func binOf(x float64, edges []float64) int {
+	for i, e := range edges {
+		if x <= e {
+			return i
+		}
+	}
+	return len(edges)
+}
+
+// snapshotSplits deep-copies the partial tree so broadcast datasets stay
+// deterministic under recomputation even as the driver keeps splitting.
+func snapshotSplits(in map[int]split) map[int]split {
+	out := make(map[int]split, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// GBT trains the boosted ensemble. Each tree level submits one job that
+// broadcasts the current model + partial tree to the data partitions and
+// aggregates per-(node, feature, bin) residual histograms, exactly as
+// MLlib's level-wise tree induction does. Returns the model and final
+// training MSE.
+func GBT(ctx *dataflow.Context, cfg GBTConfig) (GBTModel, float64) {
+	cfg = cfg.withDefaults()
+	dim := cfg.Points.Dim
+	edges := binEdges(cfg.Bins)
+	points := pointsSource(ctx, "gbt-points@0", cfg.Points, cfg.Parts)
+	if cfg.Annotate {
+		points.Cache()
+	}
+
+	model := GBTModel{LearnRate: cfg.LearnRate, Base: 0.5}
+	jobIdx := 0
+	var prevStats *dataflow.Dataset
+
+	for t := 0; t < cfg.Trees; t++ {
+		splits := map[int]split{}
+		leaves := map[int]float64{}
+		frontier := []int{1} // heap indices open at the current level
+
+		for level := 0; level < cfg.Depth && len(frontier) > 0; level++ {
+			jobIdx++
+			snapModel := model // value copy; trees slices are append-only
+			snap := snapshotSplits(splits)
+			frontierSet := map[int]bool{}
+			for _, nidx := range frontier {
+				frontierSet[nidx] = true
+			}
+
+			modelDS := ctx.Source(name("gbt-model", jobIdx), 1, func(int) []dataflow.Record {
+				return []dataflow.Record{{Key: 0, Value: snapModel}}
+			})
+			stats := dataflow.Barrier(name("gbt-stats", jobIdx), dataflow.OpHeavy, points, modelDS,
+				func(_ int, ps, ms []dataflow.Record) []dataflow.Record {
+					m := ms[0].Value.(GBTModel)
+					acc := map[int64]*binStats{}
+					for _, p := range ps {
+						lp := p.Value.(LabeledPoint)
+						resid := lp.Y - m.Predict(lp.X)
+						// Route the point through the partial tree.
+						node := 1
+						reached := true
+						for lvl := 0; lvl < level; lvl++ {
+							s, ok := snap[node]
+							if !ok {
+								reached = false
+								break
+							}
+							if lp.X[s.Feature] <= s.Threshold {
+								node = 2 * node
+							} else {
+								node = 2*node + 1
+							}
+						}
+						if !reached || !frontierSet[node] {
+							continue
+						}
+						for f := 0; f < dim; f++ {
+							b := binOf(lp.X[f], edges)
+							key := (int64(node)*int64(dim)+int64(f))*int64(cfg.Bins) + int64(b)
+							bs := acc[key]
+							if bs == nil {
+								bs = &binStats{}
+								acc[key] = bs
+							}
+							bs.Sum += resid
+							bs.Sq += resid * resid
+							bs.N++
+						}
+					}
+					keys := make([]int64, 0, len(acc))
+					for key := range acc {
+						keys = append(keys, key)
+					}
+					sortInt64s(keys)
+					out := make([]dataflow.Record, len(keys))
+					for i, key := range keys {
+						out[i] = dataflow.Record{Key: key, Value: *acc[key]}
+					}
+					return out
+				})
+			agg := stats.ReduceByKey(name("gbt-agg", jobIdx), cfg.Parts, func(a, b any) any {
+				av, bv := a.(binStats), b.(binStats)
+				return binStats{Sum: av.Sum + bv.Sum, Sq: av.Sq + bv.Sq, N: av.N + bv.N}
+			})
+			if cfg.Annotate {
+				stats.Cache()
+			}
+
+			// Collect histograms (the level's job) and choose splits.
+			hist := map[int][][]binStats{} // node -> feature -> bins
+			for _, part := range agg.Collect() {
+				for _, r := range part {
+					b := int(r.Key % int64(cfg.Bins))
+					f := int(r.Key / int64(cfg.Bins) % int64(dim))
+					node := int(r.Key / int64(cfg.Bins) / int64(dim))
+					if hist[node] == nil {
+						h := make([][]binStats, dim)
+						for i := range h {
+							h[i] = make([]binStats, cfg.Bins)
+						}
+						hist[node] = h
+					}
+					hist[node][f][b] = r.Value.(binStats)
+				}
+			}
+
+			var nextFrontier []int
+			for _, node := range frontier {
+				h := hist[node]
+				if h == nil {
+					continue // no points reached this node
+				}
+				var total binStats
+				for _, bs := range h[0] {
+					total.Sum += bs.Sum
+					total.Sq += bs.Sq
+					total.N += bs.N
+				}
+				if total.N < 2 {
+					leaves[node] = safeMean(total)
+					continue
+				}
+				bestGain, bestF, bestB := 0.0, -1, -1
+				var bestLeft, bestRight binStats
+				parentVar := total.Sq - total.Sum*total.Sum/total.N
+				for f := 0; f < dim; f++ {
+					var left binStats
+					for b := 0; b < cfg.Bins-1; b++ {
+						left.Sum += h[f][b].Sum
+						left.Sq += h[f][b].Sq
+						left.N += h[f][b].N
+						right := binStats{Sum: total.Sum - left.Sum, Sq: total.Sq - left.Sq, N: total.N - left.N}
+						if left.N < 1 || right.N < 1 {
+							continue
+						}
+						childVar := (left.Sq - left.Sum*left.Sum/left.N) + (right.Sq - right.Sum*right.Sum/right.N)
+						gain := parentVar - childVar
+						if gain > bestGain+1e-12 {
+							bestGain, bestF, bestB = gain, f, b
+							bestLeft, bestRight = left, right
+						}
+					}
+				}
+				if bestF < 0 {
+					leaves[node] = safeMean(total)
+					continue
+				}
+				splits[node] = split{Feature: bestF, Threshold: edges[bestB]}
+				// Provisional child leaf values; a child that splits at
+				// the next level loses its leaf status below.
+				leaves[2*node] = safeMean(bestLeft)
+				leaves[2*node+1] = safeMean(bestRight)
+				if level+1 < cfg.Depth {
+					nextFrontier = append(nextFrontier, 2*node, 2*node+1)
+				}
+			}
+			frontier = nextFrontier
+			for n := range splits {
+				delete(leaves, n)
+			}
+
+			if prevStats != nil {
+				prevStats.Release()
+			}
+			prevStats = stats
+		}
+
+		model.TreeSplits = append(model.TreeSplits, splits)
+		model.TreeLeaves = append(model.TreeLeaves, leaves)
+	}
+
+	// Final training MSE under the full ensemble.
+	finalModel := model
+	modelDS := ctx.Source("gbt-model-final@0", 1, func(int) []dataflow.Record {
+		return []dataflow.Record{{Key: 0, Value: finalModel}}
+	})
+	mseDS := dataflow.Barrier("gbt-mse@0", dataflow.OpMedium, points, modelDS,
+		func(_ int, ps, ms []dataflow.Record) []dataflow.Record {
+			m := ms[0].Value.(GBTModel)
+			se, n := 0.0, 0.0
+			for _, p := range ps {
+				lp := p.Value.(LabeledPoint)
+				e := lp.Y - m.Predict(lp.X)
+				se += e * e
+				n++
+			}
+			return []dataflow.Record{{Key: 0, Value: []float64{se, n}}}
+		}).ReduceByKey("gbt-mse-agg@0", 1, func(a, b any) any {
+		av, bv := a.([]float64), b.([]float64)
+		return []float64{av[0] + bv[0], av[1] + bv[1]}
+	})
+	var mse float64
+	for _, part := range mseDS.Collect() {
+		for _, r := range part {
+			v := r.Value.([]float64)
+			if v[1] > 0 {
+				mse = v[0] / v[1]
+			}
+		}
+	}
+	return model, mse
+}
+
+func safeMean(b binStats) float64 {
+	if b.N <= 0 {
+		return 0
+	}
+	return b.Sum / b.N
+}
+
+// sortInt64s sorts in place (insertion-friendly sizes).
+func sortInt64s(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// GBTWorkload wraps GBT as a profile-compatible workload.
+func GBTWorkload(cfg GBTConfig) func(ctx *dataflow.Context, scale float64) {
+	return func(ctx *dataflow.Context, scale float64) {
+		c := cfg.withDefaults()
+		c.Points.N = scaledN(c.Points.N, scale)
+		GBT(ctx, c)
+	}
+}

@@ -1,0 +1,71 @@
+// Package mllib implements the machine learning substrate for the
+// evaluation workloads: logistic regression (SGD), KMeans (Lloyd) and
+// gradient boosted trees, on the dataflow API with the caching
+// choreography of Spark MLlib (§7.1): the training set is cached and
+// referenced every iteration, per-iteration temporaries are annotated
+// blindly, and model state broadcasts to the data partitions each step.
+package mllib
+
+import (
+	"fmt"
+	"sync"
+
+	"blaze/internal/dataflow"
+	"blaze/internal/datagen"
+)
+
+// LabeledPoint is one training example.
+type LabeledPoint struct {
+	X []float64
+	Y float64
+}
+
+// SizeBytes implements storage.Sized.
+func (p LabeledPoint) SizeBytes() int64 { return 32 + 8*int64(len(p.X)) }
+
+// Vector is a plain numeric vector value.
+type Vector struct {
+	V []float64
+}
+
+// SizeBytes implements storage.Sized.
+func (v Vector) SizeBytes() int64 { return 24 + 8*int64(len(v.V)) }
+
+// srcCache memoizes generated source partitions across recomputations:
+// generation is deterministic and records immutable, so this only saves
+// real wall time; the engine charges the modeled cost regardless.
+var srcCache sync.Map
+
+type srcKey struct {
+	kind  string
+	spec  any
+	parts int
+	part  int
+}
+
+func memoized(kind string, spec any, parts, part int, gen func() []dataflow.Record) []dataflow.Record {
+	key := srcKey{kind: kind, spec: spec, parts: parts, part: part}
+	if v, ok := srcCache.Load(key); ok {
+		return v.([]dataflow.Record)
+	}
+	out := gen()
+	srcCache.Store(key, out)
+	return out
+}
+
+// pointsSource builds the partitioned training set from a PointsSpec.
+func pointsSource(ctx *dataflow.Context, name string, spec datagen.PointsSpec, parts int) *dataflow.Dataset {
+	return ctx.Source(name, parts, func(part int) []dataflow.Record {
+		return memoized("points", spec, parts, part, func() []dataflow.Record {
+			var out []dataflow.Record
+			for i := int64(part); i < int64(spec.N); i += int64(parts) {
+				x, y := spec.Point(i)
+				out = append(out, dataflow.Record{Key: i, Value: LabeledPoint{X: x, Y: y}})
+			}
+			return out
+		})
+	})
+}
+
+// name formats a role@iteration dataset name.
+func name(role string, it int) string { return fmt.Sprintf("%s@%d", role, it) }

@@ -1,0 +1,91 @@
+// Package shuffle implements the shuffle service: map tasks write
+// hash-partitioned (optionally map-side-combined) buckets, reduce tasks
+// fetch them. Shuffle outputs persist across jobs like Spark's shuffle
+// files — iterative jobs skip already-computed map stages — until the
+// producing dataset is released by the driver, at which point the outputs
+// are cleaned (Spark's ContextCleaner). A reduce task that finds its
+// shuffle cleaned triggers parent-stage regeneration in the engine, which
+// is how long recomputation lineages arise across iterations (Fig. 5).
+package shuffle
+
+import (
+	"fmt"
+
+	"blaze/internal/dataflow"
+)
+
+type output struct {
+	buckets  [][]dataflow.Record
+	bytes    []int64
+	complete bool
+}
+
+// Service stores shuffle outputs keyed by shuffle id.
+type Service struct {
+	outputs map[int]*output
+	// totalWritten accumulates bytes ever written, for reporting.
+	totalWritten int64
+}
+
+// NewService creates an empty shuffle service.
+func NewService() *Service {
+	return &Service{outputs: make(map[int]*output)}
+}
+
+// Ensure prepares bucket storage for a shuffle with the given reduce-side
+// partition count. Calling it again with the same id is a no-op.
+func (s *Service) Ensure(shuffleID, buckets int) {
+	if _, ok := s.outputs[shuffleID]; ok {
+		return
+	}
+	s.outputs[shuffleID] = &output{
+		buckets: make([][]dataflow.Record, buckets),
+		bytes:   make([]int64, buckets),
+	}
+}
+
+// AddMapOutput appends one map task's records for one bucket.
+func (s *Service) AddMapOutput(shuffleID, bucket int, recs []dataflow.Record, bytes int64) error {
+	o, ok := s.outputs[shuffleID]
+	if !ok {
+		return fmt.Errorf("shuffle: shuffle %d not prepared", shuffleID)
+	}
+	if o.complete {
+		return fmt.Errorf("shuffle: shuffle %d already complete", shuffleID)
+	}
+	o.buckets[bucket] = append(o.buckets[bucket], recs...)
+	o.bytes[bucket] += bytes
+	s.totalWritten += bytes
+	return nil
+}
+
+// MarkComplete seals the shuffle after its map stage finishes.
+func (s *Service) MarkComplete(shuffleID int) {
+	if o, ok := s.outputs[shuffleID]; ok {
+		o.complete = true
+	}
+}
+
+// Complete reports whether the shuffle's outputs are available.
+func (s *Service) Complete(shuffleID int) bool {
+	o, ok := s.outputs[shuffleID]
+	return ok && o.complete
+}
+
+// Fetch returns the records and byte size of one reduce bucket.
+func (s *Service) Fetch(shuffleID, bucket int) ([]dataflow.Record, int64, error) {
+	o, ok := s.outputs[shuffleID]
+	if !ok || !o.complete {
+		return nil, 0, fmt.Errorf("shuffle: shuffle %d not complete", shuffleID)
+	}
+	return o.buckets[bucket], o.bytes[bucket], nil
+}
+
+// Clean removes a shuffle's outputs; subsequent fetches force
+// regeneration.
+func (s *Service) Clean(shuffleID int) {
+	delete(s.outputs, shuffleID)
+}
+
+// TotalWritten reports cumulative shuffle bytes written.
+func (s *Service) TotalWritten() int64 { return s.totalWritten }

@@ -1,0 +1,94 @@
+package shuffle
+
+import (
+	"testing"
+
+	"blaze/internal/dataflow"
+)
+
+func recs(keys ...int64) []dataflow.Record {
+	out := make([]dataflow.Record, len(keys))
+	for i, k := range keys {
+		out[i] = dataflow.Record{Key: k, Value: k}
+	}
+	return out
+}
+
+func TestWriteFetchLifecycle(t *testing.T) {
+	s := NewService()
+	s.Ensure(1, 2)
+	s.Ensure(1, 2) // idempotent
+	if s.Complete(1) {
+		t.Fatal("shuffle should not be complete before MarkComplete")
+	}
+	if err := s.AddMapOutput(1, 0, recs(1, 2), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMapOutput(1, 0, recs(3), 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMapOutput(1, 1, recs(4), 25); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkComplete(1)
+	if !s.Complete(1) {
+		t.Fatal("shuffle should be complete")
+	}
+	got, bytes, err := s.Fetch(1, 0)
+	if err != nil || len(got) != 3 || bytes != 150 {
+		t.Fatalf("fetch bucket 0: %d recs, %d bytes, err=%v", len(got), bytes, err)
+	}
+	if s.TotalWritten() != 175 {
+		t.Fatalf("total written = %d, want 175", s.TotalWritten())
+	}
+}
+
+func TestFetchIncompleteErrors(t *testing.T) {
+	s := NewService()
+	if _, _, err := s.Fetch(9, 0); err == nil {
+		t.Fatal("fetch of unknown shuffle should error")
+	}
+	s.Ensure(9, 1)
+	if _, _, err := s.Fetch(9, 0); err == nil {
+		t.Fatal("fetch before completion should error")
+	}
+}
+
+func TestAddAfterCompleteErrors(t *testing.T) {
+	s := NewService()
+	s.Ensure(2, 1)
+	s.MarkComplete(2)
+	if err := s.AddMapOutput(2, 0, recs(1), 10); err == nil {
+		t.Fatal("writes after completion should error")
+	}
+}
+
+func TestAddWithoutEnsureErrors(t *testing.T) {
+	s := NewService()
+	if err := s.AddMapOutput(5, 0, recs(1), 10); err == nil {
+		t.Fatal("write to unprepared shuffle should error")
+	}
+}
+
+func TestCleanForcesRegeneration(t *testing.T) {
+	s := NewService()
+	s.Ensure(3, 1)
+	if err := s.AddMapOutput(3, 0, recs(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkComplete(3)
+	s.Clean(3)
+	if s.Complete(3) {
+		t.Fatal("cleaned shuffle must not be complete")
+	}
+	// Regeneration path: Ensure again and rewrite.
+	s.Ensure(3, 1)
+	if err := s.AddMapOutput(3, 0, recs(2), 20); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkComplete(3)
+	got, _, err := s.Fetch(3, 0)
+	if err != nil || len(got) != 1 || got[0].Key != 2 {
+		t.Fatalf("regenerated fetch = %v, %v", got, err)
+	}
+}

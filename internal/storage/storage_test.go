@@ -1,0 +1,315 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"blaze/internal/dataflow"
+)
+
+type sizedVal struct{ n int64 }
+
+func (s sizedVal) SizeBytes() int64 { return s.n }
+
+func TestValueSizeKinds(t *testing.T) {
+	cases := []struct {
+		v    any
+		want int64
+	}{
+		{nil, 0},
+		{int64(3), 8},
+		{3.14, 8},
+		{int32(1), 4},
+		{true, 1},
+		{"hello", 21},
+		{[]float64{1, 2, 3}, 24 + 24},
+		{[]int64{1, 2}, 24 + 16},
+		{sizedVal{n: 1000}, 1000},
+		{struct{ a, b int }{}, 48}, // fallback
+	}
+	for _, c := range cases {
+		if got := ValueSize(c.v); got != c.want {
+			t.Errorf("ValueSize(%#v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEstimateRecordsAdditive(t *testing.T) {
+	recs := []dataflow.Record{
+		{Key: 1, Value: int64(1)},
+		{Key: 2, Value: []float64{1, 2}},
+	}
+	want := int64(24) + (16 + 8) + (16 + 24 + 16)
+	if got := EstimateRecords(recs); got != want {
+		t.Fatalf("EstimateRecords = %d, want %d", got, want)
+	}
+}
+
+func TestMemoryStorePutGetRemove(t *testing.T) {
+	m := NewMemoryStore(1000)
+	id := BlockID{Dataset: 1, Partition: 2}
+	recs := []dataflow.Record{{Key: 1, Value: int64(5)}}
+	meta, err := m.Put(id, recs, 400, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Executor != 3 || meta.Size != 400 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if m.Used() != 400 || m.Free() != 600 {
+		t.Fatalf("used=%d free=%d", m.Used(), m.Free())
+	}
+	got, gm, ok := m.Get(id, 2*time.Second)
+	if !ok || len(got) != 1 || gm.AccessCount != 1 || gm.LastAccess != 2*time.Second {
+		t.Fatalf("get: ok=%v meta=%+v", ok, gm)
+	}
+	if _, _, ok := m.Remove(id); !ok {
+		t.Fatal("remove failed")
+	}
+	if m.Used() != 0 {
+		t.Fatalf("used after remove = %d", m.Used())
+	}
+	if m.Contains(id) {
+		t.Fatal("block still present after remove")
+	}
+}
+
+func TestMemoryStoreRejectsOverflow(t *testing.T) {
+	m := NewMemoryStore(100)
+	if _, err := m.Put(BlockID{1, 0}, nil, 150, 0, 0); err == nil {
+		t.Fatal("expected overflow error")
+	}
+	if _, err := m.Put(BlockID{1, 0}, nil, 60, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Put(BlockID{1, 1}, nil, 60, 0, 0); err == nil {
+		t.Fatal("second put should overflow")
+	}
+}
+
+func TestMemoryStoreRejectsDuplicate(t *testing.T) {
+	m := NewMemoryStore(100)
+	id := BlockID{1, 0}
+	if _, err := m.Put(id, nil, 10, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Put(id, nil, 10, 0, 0); err == nil {
+		t.Fatal("duplicate put should fail")
+	}
+}
+
+func TestMemoryStoreBlocksDeterministicOrder(t *testing.T) {
+	m := NewMemoryStore(1000)
+	ids := []BlockID{{3, 1}, {1, 2}, {1, 0}, {2, 5}}
+	for _, id := range ids {
+		if _, err := m.Put(id, nil, 10, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Blocks()
+	want := []BlockID{{1, 0}, {1, 2}, {2, 5}, {3, 1}}
+	for i, w := range want {
+		if got[i].ID != w {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDiskStoreAccounting(t *testing.T) {
+	d := NewDiskStore()
+	if err := d.Put(BlockID{1, 0}, nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(BlockID{1, 1}, nil, 200); err != nil {
+		t.Fatal(err)
+	}
+	if d.CurrentBytes() != 300 || d.PeakBytes() != 300 || d.TotalWritten() != 300 {
+		t.Fatalf("cur=%d peak=%d total=%d", d.CurrentBytes(), d.PeakBytes(), d.TotalWritten())
+	}
+	if _, ok := d.Remove(BlockID{1, 0}); !ok {
+		t.Fatal("remove failed")
+	}
+	if d.CurrentBytes() != 200 || d.PeakBytes() != 300 {
+		t.Fatalf("cur=%d peak=%d after remove", d.CurrentBytes(), d.PeakBytes())
+	}
+	if err := d.Put(BlockID{1, 2}, nil, 50); err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalWritten() != 350 {
+		t.Fatalf("totalWritten = %d, want 350", d.TotalWritten())
+	}
+	if err := d.Put(BlockID{1, 2}, nil, 50); err == nil {
+		t.Fatal("duplicate disk put should fail")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	RegisterValueType([]float64{})
+	recs := []dataflow.Record{
+		{Key: 1, Value: int64(42)},
+		{Key: -7, Value: []float64{1.5, 2.5}},
+		{Key: 0, Value: "hello"},
+	}
+	data, err := EncodeRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip length %d != %d", len(back), len(recs))
+	}
+	if back[0].Value.(int64) != 42 || back[2].Value.(string) != "hello" {
+		t.Fatalf("values corrupted: %+v", back)
+	}
+	fs := back[1].Value.([]float64)
+	if fs[0] != 1.5 || fs[1] != 2.5 {
+		t.Fatalf("slice corrupted: %v", fs)
+	}
+}
+
+// Property: the memory store's used counter always equals the sum of its
+// block sizes under arbitrary put/remove sequences.
+func TestMemoryStoreAccountingInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMemoryStore(1 << 20)
+		live := map[BlockID]int64{}
+		for _, op := range ops {
+			id := BlockID{Dataset: int(op % 7), Partition: int(op/7) % 5}
+			size := int64(op%100) + 1
+			if _, ok := live[id]; ok {
+				m.Remove(id)
+				delete(live, id)
+			} else {
+				if _, err := m.Put(id, nil, size, 0, 0); err == nil {
+					live[id] = size
+				}
+			}
+			var want int64
+			for _, s := range live {
+				want += s
+			}
+			if m.Used() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the size estimator is within 4x of the real gob encoding for
+// simple payloads — close enough that disk cost ordering is preserved.
+func TestEstimateTracksRealEncoding(t *testing.T) {
+	f := func(n uint8) bool {
+		recs := make([]dataflow.Record, int(n)+1)
+		for i := range recs {
+			recs[i] = dataflow.Record{Key: int64(i), Value: float64(i) * 1.5}
+		}
+		est := EstimateRecords(recs)
+		data, err := EncodeRecords(recs)
+		if err != nil {
+			return false
+		}
+		real := int64(len(data))
+		return est >= real/4 && est <= real*4+512
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryStoreAccessors(t *testing.T) {
+	m := NewMemoryStore(500)
+	if m.Capacity() != 500 {
+		t.Fatalf("capacity = %d", m.Capacity())
+	}
+	if _, ok := m.Peek(BlockID{9, 9}); ok {
+		t.Fatal("peek of absent block should fail")
+	}
+	if _, err := m.Put(BlockID{1, 0}, nil, 100, 2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	meta, ok := m.Peek(BlockID{1, 0})
+	if !ok || meta.Size != 100 || meta.Executor != 2 {
+		t.Fatalf("peek = %+v, %v", meta, ok)
+	}
+	if meta.AccessCount != 0 {
+		t.Fatal("peek must not bump access stats")
+	}
+	if m.PeakUsed() != 100 {
+		t.Fatalf("peak = %d", m.PeakUsed())
+	}
+	m.Remove(BlockID{1, 0})
+	if m.PeakUsed() != 100 {
+		t.Fatal("peak must persist after removal")
+	}
+	if _, _, ok := m.Get(BlockID{1, 0}, 0); ok {
+		t.Fatal("get after remove should fail")
+	}
+	if _, _, ok := m.Remove(BlockID{1, 0}); ok {
+		t.Fatal("double remove should fail")
+	}
+}
+
+func TestDiskStoreAccessors(t *testing.T) {
+	d := NewDiskStore()
+	if d.Contains(BlockID{1, 0}) {
+		t.Fatal("empty store contains nothing")
+	}
+	if _, _, ok := d.Get(BlockID{1, 0}); ok {
+		t.Fatal("get of absent block should fail")
+	}
+	if _, ok := d.Remove(BlockID{1, 0}); ok {
+		t.Fatal("remove of absent block should fail")
+	}
+	recs := []dataflow.Record{{Key: 5, Value: int64(5)}}
+	if err := d.Put(BlockID{2, 1}, recs, 64); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Contains(BlockID{2, 1}) {
+		t.Fatal("contains should see the block")
+	}
+	got, size, ok := d.Get(BlockID{2, 1})
+	if !ok || size != 64 || len(got) != 1 || got[0].Key != 5 {
+		t.Fatalf("get = %v %d %v", got, size, ok)
+	}
+	if err := d.Put(BlockID{1, 0}, nil, 32); err != nil {
+		t.Fatal(err)
+	}
+	blocks := d.Blocks()
+	if len(blocks) != 2 || blocks[0] != (BlockID{1, 0}) || blocks[1] != (BlockID{2, 1}) {
+		t.Fatalf("blocks = %v", blocks)
+	}
+}
+
+func TestValueSizeMoreKinds(t *testing.T) {
+	cases := []struct {
+		v    any
+		want int64
+	}{
+		{uint8(1), 1},
+		{float32(1), 4},
+		{uint32(1), 4},
+		{int(7), 8},
+		{uint64(7), 8},
+		{[]byte("abc"), 27},
+		{[]any{int64(1), "ab"}, 24 + (16 + 8) + (16 + 16 + 2)},
+	}
+	for _, c := range cases {
+		if got := ValueSize(c.v); got != c.want {
+			t.Errorf("ValueSize(%#v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeRecords([]byte("not gob data")); err == nil {
+		t.Fatal("garbage should not decode")
+	}
+}

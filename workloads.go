@@ -1,0 +1,179 @@
+package blaze
+
+import (
+	"fmt"
+
+	"blaze/internal/dataflow"
+	"blaze/internal/datagen"
+	"blaze/internal/graphx"
+	"blaze/internal/mllib"
+)
+
+// WorkloadID names one of the six evaluation workloads (§7.1).
+type WorkloadID string
+
+// The evaluation workloads.
+const (
+	PR     WorkloadID = "pr"
+	CC     WorkloadID = "cc"
+	LR     WorkloadID = "lr"
+	KMeans WorkloadID = "kmeans"
+	GBT    WorkloadID = "gbt"
+	SVDPP  WorkloadID = "svdpp"
+)
+
+// AllWorkloads lists the evaluation workloads in the paper's order.
+func AllWorkloads() []WorkloadID {
+	return []WorkloadID{PR, CC, LR, KMeans, GBT, SVDPP}
+}
+
+// WorkloadSpec bundles everything the harness needs to run one workload:
+// the driver program with and without cache annotations, and the
+// workload-specific serialization factor (§7.2: SVD++ serializes 2.5-6.4×
+// slower than the others).
+type WorkloadSpec struct {
+	ID        WorkloadID
+	Title     string
+	SerFactor float64
+	// MemFraction is the workload's default memory-store capacity as a
+	// fraction of its calibrated peak cached bytes, positioning each
+	// application in the paper's working-set : memory regime (§7.1: one
+	// fixed 170 GB store versus per-application working sets of very
+	// different sizes).
+	MemFraction float64
+	// Plain runs without annotations (Blaze and its ablations).
+	Plain func(ctx *dataflow.Context, scale float64)
+	// Annotated runs with the GraphX/MLlib cache()/unpersist() pattern.
+	Annotated func(ctx *dataflow.Context, scale float64)
+}
+
+// Workload returns the spec for an id.
+func Workload(id WorkloadID) (WorkloadSpec, error) {
+	switch id {
+	case PR:
+		return prSpec(), nil
+	case CC:
+		return ccSpec(), nil
+	case LR:
+		return lrSpec(), nil
+	case KMeans:
+		return kmSpec(), nil
+	case GBT:
+		return gbtSpec(), nil
+	case SVDPP:
+		return svdSpec(), nil
+	default:
+		return WorkloadSpec{}, fmt.Errorf("blaze: unknown workload %q", id)
+	}
+}
+
+// Default workload parameters: laptop-scale stand-ins for the paper's
+// 25M-vertex graphs and 30-106 GB datasets, with the same structural
+// properties (power-law skew, iteration counts, reference patterns).
+// Serialization factors: graph workloads carry pointer-heavy vertex
+// structures that serialize slowly (the paper highlights per-workload
+// serialization differences in §7.2); SVD++ is the extreme case at 3×.
+func prConfig(annotate bool) graphx.PageRankConfig {
+	return graphx.PageRankConfig{
+		Graph:    datagen.GraphSpec{Seed: 1, Vertices: 3000, AvgDegree: 8},
+		Parts:    32,
+		Iters:    10,
+		Annotate: annotate,
+	}
+}
+
+func prSpec() WorkloadSpec {
+	return WorkloadSpec{
+		ID: PR, Title: "PageRank", SerFactor: 2.5, MemFraction: 0.25,
+		Plain:     graphx.PageRankWorkload(prConfig(false)),
+		Annotated: graphx.PageRankWorkload(prConfig(true)),
+	}
+}
+
+func ccConfig(annotate bool) graphx.ConnectedComponentsConfig {
+	return graphx.ConnectedComponentsConfig{
+		Graph:    datagen.GraphSpec{Seed: 1, Vertices: 2500, AvgDegree: 3},
+		Parts:    32,
+		MaxIters: 12,
+		Annotate: annotate,
+	}
+}
+
+func ccSpec() WorkloadSpec {
+	return WorkloadSpec{
+		ID: CC, Title: "ConnectedComponents", SerFactor: 2.0, MemFraction: 0.3,
+		Plain:     graphx.ConnectedComponentsWorkload(ccConfig(false)),
+		Annotated: graphx.ConnectedComponentsWorkload(ccConfig(true)),
+	}
+}
+
+func lrConfig(annotate bool) mllib.LogisticRegressionConfig {
+	return mllib.LogisticRegressionConfig{
+		Points:   datagen.PointsSpec{Seed: 2, N: 9000, Dim: 16, Noise: 0.05},
+		Parts:    32,
+		Iters:    10,
+		Annotate: annotate,
+	}
+}
+
+func lrSpec() WorkloadSpec {
+	return WorkloadSpec{
+		ID: LR, Title: "LogisticRegression", SerFactor: 1.0, MemFraction: 0.55,
+		Plain:     mllib.LogisticRegressionWorkload(lrConfig(false)),
+		Annotated: mllib.LogisticRegressionWorkload(lrConfig(true)),
+	}
+}
+
+func kmConfig(annotate bool) mllib.KMeansConfig {
+	return mllib.KMeansConfig{
+		Data:     datagen.ClusterSpec{Seed: 3, N: 8000, Dim: 8, K: 8, Spread: 2.0},
+		Parts:    32,
+		MaxIters: 10,
+		Epsilon:  -1, // fixed iteration budget, as HiBench KMeans runs
+		Annotate: annotate,
+	}
+}
+
+func kmSpec() WorkloadSpec {
+	return WorkloadSpec{
+		ID: KMeans, Title: "KMeans", SerFactor: 1.0, MemFraction: 0.93,
+		Plain:     mllib.KMeansWorkload(kmConfig(false)),
+		Annotated: mllib.KMeansWorkload(kmConfig(true)),
+	}
+}
+
+func gbtConfig(annotate bool) mllib.GBTConfig {
+	return mllib.GBTConfig{
+		Points:   datagen.PointsSpec{Seed: 4, N: 5000, Dim: 10, Noise: 0.05},
+		Parts:    32,
+		Trees:    8,
+		Depth:    3,
+		Annotate: annotate,
+	}
+}
+
+func gbtSpec() WorkloadSpec {
+	return WorkloadSpec{
+		ID: GBT, Title: "GradientBoostedTrees", SerFactor: 1.3, MemFraction: 0.7,
+		Plain:     mllib.GBTWorkload(gbtConfig(false)),
+		Annotated: mllib.GBTWorkload(gbtConfig(true)),
+	}
+}
+
+func svdConfig(annotate bool) graphx.SVDPPConfig {
+	return graphx.SVDPPConfig{
+		Ratings:  datagen.RatingsSpec{Seed: 5, Users: 1500, Items: 300, ItemsPerUser: 12},
+		Parts:    16,
+		Rank:     8,
+		Iters:    10,
+		Annotate: annotate,
+	}
+}
+
+func svdSpec() WorkloadSpec {
+	return WorkloadSpec{
+		ID: SVDPP, Title: "SVD++", SerFactor: 3.0, MemFraction: 0.3,
+		Plain:     graphx.SVDPPWorkload(svdConfig(false)),
+		Annotated: graphx.SVDPPWorkload(svdConfig(true)),
+	}
+}
