@@ -22,6 +22,7 @@ import (
 	"blaze/internal/dataflow"
 	"blaze/internal/engine"
 	"blaze/internal/eventlog"
+	"blaze/internal/faults"
 	"blaze/internal/metrics"
 )
 
@@ -100,6 +101,12 @@ type RunConfig struct {
 	// EventLog, when non-nil, records structured execution events for
 	// post-run auditing (see internal/eventlog).
 	EventLog *eventlog.Log
+	// Faults, when non-nil, attaches a deterministic, seed-driven fault
+	// injector (see internal/faults) that destroys cached blocks or
+	// completed shuffles at scheduling boundaries, exercising the
+	// recovery paths; fault counts and per-job recovery time land in
+	// the returned metrics.
+	Faults *faults.Config
 	// ILPWindow overrides how many successor jobs Blaze's ILP objective
 	// covers (-1 = the workload default of 1, §5.5; 0 = current job
 	// only). Only meaningful for the Blaze systems.
@@ -236,6 +243,10 @@ func Run(cfg RunConfig) (*Result, error) {
 		return nil, err
 	}
 
+	var hook engine.Hook
+	if cfg.Faults != nil {
+		hook = faults.New(*cfg.Faults)
+	}
 	ctx := dataflow.NewContext()
 	cluster, err := engine.NewCluster(engine.Config{
 		Executors:         cfg.Executors,
@@ -245,6 +256,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		Controller:        ctl,
 		AlluxioMode:       alluxio,
 		EventLog:          cfg.EventLog,
+		Hook:              hook,
 	}, ctx)
 	if err != nil {
 		return nil, err

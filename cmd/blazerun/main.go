@@ -5,6 +5,7 @@
 //
 //	blazerun -system blaze -workload pr
 //	blazerun -system spark-memdisk -workload svdpp -executors 4 -frac 0.4
+//	blazerun -system spark-mem -workload pr -faults shuffle -fault-every 2
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"blaze"
 	"blaze/internal/eventlog"
+	"blaze/internal/faults"
 )
 
 func main() {
@@ -24,11 +26,31 @@ func main() {
 	frac := flag.Float64("frac", 0, "memory fraction of the calibrated peak (0 = workload default)")
 	scale := flag.Float64("scale", 1.0, "input scale factor")
 	events := flag.String("events", "", "write a JSON-lines event log to this path and print a per-job summary")
+	faultSpec := flag.String("faults", "", "inject faults: comma-separated classes (exec, block, shuffle, all); empty = none")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
+	faultEvery := flag.Int("fault-every", 1, "inject one fault per N boundaries")
+	faultStage := flag.Bool("fault-stage", false, "inject at stage boundaries instead of job boundaries")
+	faultMax := flag.Int("fault-max", 0, "cap on injected faults (0 = unlimited)")
 	flag.Parse()
 
 	var log *eventlog.Log
 	if *events != "" {
 		log = eventlog.New()
+	}
+	var fcfg *faults.Config
+	if *faultSpec != "" {
+		classes, err := faults.ParseClasses(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazerun: %v\n", err)
+			os.Exit(1)
+		}
+		fcfg = &faults.Config{
+			Seed:       *faultSeed,
+			Classes:    classes,
+			Every:      *faultEvery,
+			AtStageEnd: *faultStage,
+			MaxFaults:  *faultMax,
+		}
 	}
 	r, err := blaze.Run(blaze.RunConfig{
 		System:         blaze.SystemID(*system),
@@ -37,6 +59,7 @@ func main() {
 		MemoryFraction: *frac,
 		Scale:          *scale,
 		EventLog:       log,
+		Faults:         fcfg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "blazerun: %v\n", err)
@@ -57,6 +80,11 @@ func main() {
 	fmt.Printf("evictions         %d (to disk %d), unpersists %d\n", m.Evictions, m.EvictionsToDisk, m.Unpersists)
 	fmt.Printf("disk              written=%d bytes, peak=%d bytes\n", m.DiskBytesWritten, m.DiskPeakBytes)
 	fmt.Printf("scheduler         jobs=%d stages=%d skipped=%d\n", m.Jobs, m.RanStages, m.SkippedStages)
+	if m.FaultsInjected > 0 {
+		fmt.Printf("faults            injected=%d blocksLost=%d bytesLost=%d shufflesLost=%d recovery=%v\n",
+			m.FaultsInjected, m.FaultBlocksLost, m.FaultBytesLost, m.FaultShufflesLost,
+			m.TotalFaultRecovery().Round(time.Microsecond))
+	}
 	if m.ILPSolves > 0 {
 		fmt.Printf("ILP               solves=%d nodes=%d\n", m.ILPSolves, m.ILPNodes)
 	}

@@ -19,6 +19,17 @@ type StatefulPolicy interface {
 	OnEvict(id storage.BlockID)
 }
 
+// Cloner is implemented by stateful policies that can produce a fresh,
+// empty instance of themselves. Each executor evicts independently, so
+// the engine clones the configured policy per executor — a single shared
+// instance would observe the interleaved access streams of all executors
+// and pollute its learned state.
+type Cloner interface {
+	// Clone returns a fresh instance with the same configuration and no
+	// learned state.
+	Clone() Policy
+}
+
 // cmSketch is a tiny count-min sketch with 4 rows, used by TinyLFU as its
 // approximate frequency oracle.
 type cmSketch struct {
@@ -88,15 +99,19 @@ func (s *cmSketch) estimate(id storage.BlockID) int {
 // frequency are evicted first.
 type TinyLFU struct {
 	sketch *cmSketch
+	n      int
 }
 
 // NewTinyLFU creates a TinyLFU policy sized for roughly n tracked blocks.
 func NewTinyLFU(n int) *TinyLFU {
-	return &TinyLFU{sketch: newCMSketch(n * 4)}
+	return &TinyLFU{sketch: newCMSketch(n * 4), n: n}
 }
 
 // Name implements Policy.
 func (t *TinyLFU) Name() string { return "tinylfu" }
+
+// Clone implements Cloner: a fresh sketch of the same size.
+func (t *TinyLFU) Clone() Policy { return NewTinyLFU(t.n) }
 
 // Order implements Policy: ascending estimated frequency, recency ties.
 func (t *TinyLFU) Order(blocks []*storage.BlockMeta) []*storage.BlockMeta {
@@ -168,6 +183,9 @@ func NewLeCaR() *LeCaR {
 
 // Name implements Policy.
 func (l *LeCaR) Name() string { return "lecar" }
+
+// Clone implements Cloner: fresh weights and history.
+func (l *LeCaR) Clone() Policy { return NewLeCaR() }
 
 // Order implements Policy: picks the expert by current weights
 // (deterministically pseudo-random) and returns that expert's order.

@@ -35,6 +35,13 @@ type AnnotationController struct {
 	policy   cachepolicy.Policy
 	prefetch bool
 
+	// perExec holds per-executor policy instances for stateful policies
+	// that implement cachepolicy.Cloner. Executors evict independently,
+	// so a single shared instance would observe the interleaved access
+	// streams of all executors and pollute its learned state; stateless
+	// policies are shared safely.
+	perExec map[int]cachepolicy.Policy
+
 	c *Cluster
 	// refStages maps dataset id → stage indices (ascending) of the
 	// current job that reference the dataset.
@@ -81,7 +88,9 @@ func NewMRD(level StorageLevel) *AnnotationController {
 }
 
 // NewAnnotation builds a controller with an arbitrary policy, for custom
-// configurations and tests.
+// configurations and tests. Stateful policies implementing
+// cachepolicy.Cloner are cloned per executor so each executor's instance
+// learns only from its own access stream.
 func NewAnnotation(name string, level StorageLevel, policy cachepolicy.Policy, prefetch bool) *AnnotationController {
 	return &AnnotationController{name: name, level: level, policy: policy, prefetch: prefetch}
 }
@@ -91,6 +100,25 @@ func (a *AnnotationController) Name() string { return a.name }
 
 // Bind implements Controller.
 func (a *AnnotationController) Bind(c *Cluster) { a.c = c }
+
+// policyFor returns the executor's policy instance: a per-executor clone
+// for stateful policies implementing cachepolicy.Cloner, the shared
+// instance otherwise.
+func (a *AnnotationController) policyFor(ex *Executor) cachepolicy.Policy {
+	cl, ok := a.policy.(cachepolicy.Cloner)
+	if !ok {
+		return a.policy
+	}
+	if a.perExec == nil {
+		a.perExec = make(map[int]cachepolicy.Policy)
+	}
+	p, ok := a.perExec[ex.ID]
+	if !ok {
+		p = cl.Clone()
+		a.perExec[ex.ID] = p
+	}
+	return p
+}
 
 // OnJobStart rebuilds the reference index from the submitted job's DAG —
 // the only dependency information annotation-based systems have.
@@ -199,7 +227,7 @@ func (a *AnnotationController) SelectVictims(ex *Executor, need int64) []Victim 
 			m.RefDistance = 1 << 20 // never referenced again in this job
 		}
 	}
-	ordered := a.policy.Order(blocks)
+	ordered := a.policyFor(ex).Order(blocks)
 	var out []Victim
 	var freed int64
 	for _, m := range ordered {
@@ -219,23 +247,24 @@ func (a *AnnotationController) PromoteOnDiskRead(ex *Executor, id storage.BlockI
 }
 
 // OnBlockAccess implements Controller; access stats live in BlockMeta,
-// and stateful policies (TinyLFU, LeCaR) additionally receive the event.
+// and stateful policies (TinyLFU, LeCaR) additionally receive the event
+// on the accessed executor's own instance.
 func (a *AnnotationController) OnBlockAccess(ex *Executor, id storage.BlockID) {
-	if sp, ok := a.policy.(cachepolicy.StatefulPolicy); ok {
+	if sp, ok := a.policyFor(ex).(cachepolicy.StatefulPolicy); ok {
 		sp.OnAccess(id)
 	}
 }
 
 // OnBlockAdmitted implements Controller.
 func (a *AnnotationController) OnBlockAdmitted(ex *Executor, id storage.BlockID) {
-	if sp, ok := a.policy.(cachepolicy.StatefulPolicy); ok {
+	if sp, ok := a.policyFor(ex).(cachepolicy.StatefulPolicy); ok {
 		sp.OnInsert(id)
 	}
 }
 
 // OnBlockRemoved implements Controller.
 func (a *AnnotationController) OnBlockRemoved(ex *Executor, id storage.BlockID) {
-	if sp, ok := a.policy.(cachepolicy.StatefulPolicy); ok {
+	if sp, ok := a.policyFor(ex).(cachepolicy.StatefulPolicy); ok {
 		sp.OnEvict(id)
 	}
 }

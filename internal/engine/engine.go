@@ -174,6 +174,24 @@ type Config struct {
 	// correctness mode for tests (workload value types must be
 	// registered with storage.RegisterValueType).
 	VerifyCodec bool
+	// Hook, when non-nil, observes job and top-level stage boundaries.
+	// internal/faults implements it to inject failures between
+	// scheduling units, turning the recovery paths (recomputation, disk
+	// reload, stage resubmission) into first-class, testable scenarios.
+	Hook Hook
+}
+
+// Hook observes scheduling boundaries of a cluster. Stage notifications
+// fire only for top-level stages — never for stages regenerated in the
+// middle of an outer task — so hooks always run between scheduling units,
+// where mutating cache or shuffle state is safe.
+type Hook interface {
+	// OnJobStart fires after the job DAG is built, before stages run.
+	OnJobStart(c *Cluster, j *Job)
+	// OnStageEnd fires after each top-level stage's barrier.
+	OnStageEnd(c *Cluster, st *Stage)
+	// OnJobEnd fires after the job's final stage.
+	OnJobEnd(c *Cluster, j *Job)
 }
 
 // Cluster executes jobs for one dataflow context.
@@ -194,6 +212,12 @@ type Cluster struct {
 	// curJob is the index of the job currently running, for attributing
 	// recomputation time (Fig. 5).
 	curJob int
+	// faultLost marks blocks destroyed by injected faults; when such a
+	// block is recomputed, the cost is attributed as fault recovery.
+	faultLost map[storage.BlockID]bool
+	// faultLostShuffles marks shuffles cleaned by injected faults; their
+	// regeneration is attributed as fault recovery.
+	faultLostShuffles map[int]bool
 }
 
 // NewCluster creates a cluster bound to the context and installs itself
@@ -212,13 +236,15 @@ func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
 		return nil, fmt.Errorf("engine: a cache controller is required")
 	}
 	c := &Cluster{
-		cfg:          cfg,
-		ctx:          ctx,
-		shuffle:      shuffle.NewService(),
-		met:          metrics.NewApp(cfg.Executors),
-		ctl:          cfg.Controller,
-		log:          cfg.EventLog,
-		computedOnce: make(map[storage.BlockID]bool),
+		cfg:               cfg,
+		ctx:               ctx,
+		shuffle:           shuffle.NewService(),
+		met:               metrics.NewApp(cfg.Executors),
+		ctl:               cfg.Controller,
+		log:               cfg.EventLog,
+		computedOnce:      make(map[storage.BlockID]bool),
+		faultLost:         make(map[storage.BlockID]bool),
+		faultLostShuffles: make(map[int]bool),
 	}
 	cores := cfg.CoresPerExecutor
 	if cores <= 0 {
@@ -290,12 +316,27 @@ func (c *Cluster) Finish() *metrics.App {
 	}
 	c.met.ACT = end + c.met.ProfilingTime
 	c.met.DiskBytesWritten = 0
-	c.met.DiskPeakBytes = 0
-	for _, ex := range c.execs {
+	for i, ex := range c.execs {
 		c.met.DiskBytesWritten += ex.Disk.TotalWritten()
-		c.met.DiskPeakBytes += ex.Disk.PeakBytes()
+		// Per-executor peaks are reported separately; the cluster-wide
+		// DiskPeakBytes is maintained on every disk write, because the
+		// executors' individual peaks occur at different virtual times
+		// and their sum would overstate the concurrent footprint.
+		c.met.Executors[i].DiskPeakBytes = ex.Disk.PeakBytes()
 	}
 	return c.met
+}
+
+// noteDiskPeak refreshes the cluster-wide peak disk footprint after a
+// disk write (removals cannot raise the peak).
+func (c *Cluster) noteDiskPeak() {
+	var cur int64
+	for _, ex := range c.execs {
+		cur += ex.Disk.CurrentBytes()
+	}
+	if cur > c.met.DiskPeakBytes {
+		c.met.DiskPeakBytes = cur
+	}
 }
 
 // AddProfilingTime charges the dependency-extraction overhead into the
@@ -386,10 +427,14 @@ func (c *Cluster) SpillBlock(ex *Executor, id storage.BlockID) bool {
 			// Unreachable: Contains was checked above.
 			panic(err)
 		}
+		c.noteDiskPeak()
+		// A to-disk eviction is only counted when bytes were actually
+		// written; a victim whose disk copy was retained from an earlier
+		// spill is an m→u drop of the memory copy, not a second m→d.
+		c.met.EvictionsToDisk++
 	}
 	c.met.Executors[ex.ID].EvictedBytes += size
 	c.met.Evictions++
-	c.met.EvictionsToDisk++
 	return true
 }
 

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"blaze/internal/eventlog"
+	"blaze/internal/storage"
+)
+
+// This file holds the cluster-side fault-injection primitives used by
+// internal/faults. Unlike DropBlock/DropDataset — which model deliberate
+// unpersists — these destroy state behind the controller's back, count as
+// faults in the metrics, and mark what was lost so the recovery work that
+// follows (recomputation, disk reload, stage resubmission) is attributed
+// per fault and per job (§4.3, Fig. 5).
+
+// loseBlock removes one block from both tiers without unpersist
+// accounting, notifying the controller, and returns the bytes destroyed.
+func (c *Cluster) loseBlock(ex *Executor, id storage.BlockID) (int64, bool) {
+	var bytes int64
+	lost := false
+	if _, size, ok := ex.Mem.Remove(id); ok {
+		c.ctl.OnBlockRemoved(ex, id)
+		bytes += size
+		lost = true
+	}
+	if size, ok := ex.Disk.Remove(id); ok {
+		// The disk copy vanishes too (executor-local storage dies with
+		// the executor; a corrupted block is unreadable from either
+		// tier). Only notify the controller once per block.
+		if !lost {
+			c.ctl.OnBlockRemoved(ex, id)
+		}
+		bytes += size
+		lost = true
+	}
+	if lost {
+		c.faultLost[id] = true
+		c.met.FaultBlocksLost++
+		c.met.FaultBytesLost += bytes
+	}
+	return bytes, lost
+}
+
+// InjectBlockLoss destroys a single cached block (memory and disk copies)
+// on the executor — modeling corruption or eviction by the OS. Returns
+// false if the executor holds no such block.
+func (c *Cluster) InjectBlockLoss(ex *Executor, id storage.BlockID) bool {
+	bytes, ok := c.loseBlock(ex, id)
+	if !ok {
+		return false
+	}
+	c.met.FaultsInjected++
+	c.emit(eventlog.Event{Kind: eventlog.FaultInjected, Time: c.Now(), Job: c.curJob,
+		Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: bytes,
+		Fault: "block-loss"})
+	return true
+}
+
+// InjectExecutorCacheLoss destroys every cached block (both tiers) of one
+// executor — modeling an executor restart. Returns the number of blocks
+// and bytes destroyed.
+func (c *Cluster) InjectExecutorCacheLoss(ex *Executor) (blocks int, bytes int64) {
+	ids := make([]storage.BlockID, 0)
+	for _, m := range ex.Mem.Blocks() {
+		ids = append(ids, m.ID)
+	}
+	for _, id := range ex.Disk.Blocks() {
+		if !ex.Mem.Contains(id) {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		b, ok := c.loseBlock(ex, id)
+		if ok {
+			blocks++
+			bytes += b
+		}
+	}
+	c.met.FaultsInjected++
+	c.emit(eventlog.Event{Kind: eventlog.FaultInjected, Time: c.Now(), Job: c.curJob,
+		Executor: ex.ID, Bytes: bytes, Fault: "executor-cache-loss"})
+	return blocks, bytes
+}
+
+// InjectShuffleLoss cleans a completed shuffle's outputs — modeling lost
+// shuffle files, which force Spark-style stage resubmission when a reduce
+// task next fetches them. Returns false if the shuffle was not complete.
+func (c *Cluster) InjectShuffleLoss(shuffleID int) bool {
+	if !c.shuffle.Complete(shuffleID) {
+		return false
+	}
+	c.shuffle.Clean(shuffleID)
+	c.faultLostShuffles[shuffleID] = true
+	c.met.FaultsInjected++
+	c.met.FaultShufflesLost++
+	c.emit(eventlog.Event{Kind: eventlog.FaultInjected, Time: c.Now(), Job: c.curJob,
+		Shuffle: shuffleID, Fault: "shuffle-loss"})
+	return true
+}
+
+// CompletedShuffles lists the ids of all currently complete shuffles in
+// ascending order — the candidates for shuffle-loss injection.
+func (c *Cluster) CompletedShuffles() []int {
+	return c.shuffle.CompleteIDs()
+}

@@ -1,4 +1,4 @@
-package engine
+package engine_test
 
 import (
 	"math/rand"
@@ -8,6 +8,7 @@ import (
 	"blaze/internal/cachepolicy"
 	"blaze/internal/costmodel"
 	"blaze/internal/dataflow"
+	"blaze/internal/engine"
 	"blaze/internal/enginetest"
 	"blaze/internal/storage"
 )
@@ -16,21 +17,27 @@ import (
 // random DAGs and random programs, every controller configuration under
 // brutal eviction pressure computes exactly the reference results.
 func TestFuzzEquivalenceAcrossSystems(t *testing.T) {
-	controllers := []func() Controller{
-		func() Controller { return NewSparkMemOnly() },
-		func() Controller { return NewSparkMemDisk() },
-		func() Controller { return NewLRC(MemDisk) },
-		func() Controller { return NewMRD(MemDisk) },
-		func() Controller { return NewAnnotation("tinylfu", MemDisk, cachepolicy.NewTinyLFU(64), false) },
-		func() Controller { return NewAnnotation("lecar", MemOnly, cachepolicy.NewLeCaR(), false) },
-		func() Controller { return NewAnnotation("gdwheel", MemDisk, cachepolicy.GDWheel{}, false) },
+	controllers := []func() engine.Controller{
+		func() engine.Controller { return engine.NewSparkMemOnly() },
+		func() engine.Controller { return engine.NewSparkMemDisk() },
+		func() engine.Controller { return engine.NewLRC(engine.MemDisk) },
+		func() engine.Controller { return engine.NewMRD(engine.MemDisk) },
+		func() engine.Controller {
+			return engine.NewAnnotation("tinylfu", engine.MemDisk, cachepolicy.NewTinyLFU(64), false)
+		},
+		func() engine.Controller {
+			return engine.NewAnnotation("lecar", engine.MemOnly, cachepolicy.NewLeCaR(), false)
+		},
+		func() engine.Controller {
+			return engine.NewAnnotation("gdwheel", engine.MemDisk, cachepolicy.GDWheel{}, false)
+		},
 	}
 	for seed := int64(1); seed <= 12; seed++ {
 		want := enginetest.RefChecksums(seed)
 		for i, mk := range controllers {
 			ctl := mk()
 			ctx := dataflow.NewContext()
-			c, err := NewCluster(Config{
+			c, err := engine.NewCluster(engine.Config{
 				Executors:         3,
 				MemoryPerExecutor: 2048, // brutal pressure
 				Params:            costmodel.Default(),
@@ -63,11 +70,11 @@ func TestFailureInjection(t *testing.T) {
 		want := enginetest.RefChecksums(seed)
 
 		ctx := dataflow.NewContext()
-		c, err := NewCluster(Config{
+		c, err := engine.NewCluster(engine.Config{
 			Executors:         3,
 			MemoryPerExecutor: 1 << 20,
 			Params:            costmodel.Default(),
-			Controller:        NewSparkMemDisk(),
+			Controller:        engine.NewSparkMemDisk(),
 		}, ctx)
 		if err != nil {
 			t.Fatal(err)
@@ -94,7 +101,7 @@ func TestFailureInjection(t *testing.T) {
 // after every job.
 type faultInjector struct {
 	inner dataflow.JobRunner
-	c     *Cluster
+	c     *engine.Cluster
 	rng   *rand.Rand
 }
 

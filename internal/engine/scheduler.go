@@ -175,6 +175,9 @@ func (c *Cluster) RunJob(target *dataflow.Dataset, action string) [][]dataflow.R
 	c.met.Jobs++
 	c.emit(eventlog.Event{Kind: eventlog.JobStart, Time: c.Now(), Job: job.ID})
 	c.ctl.OnJobStart(job)
+	if c.cfg.Hook != nil {
+		c.cfg.Hook.OnJobStart(c, job)
+	}
 
 	var results [][]dataflow.Record
 	for _, st := range job.Stages {
@@ -185,6 +188,9 @@ func (c *Cluster) RunJob(target *dataflow.Dataset, action string) [][]dataflow.R
 		}
 	}
 	c.ctl.OnJobEnd(job)
+	if c.cfg.Hook != nil {
+		c.cfg.Hook.OnJobEnd(c, job)
+	}
 	c.emit(eventlog.Event{Kind: eventlog.JobEnd, Time: c.Now(), Job: job.ID})
 	return results
 }
@@ -201,11 +207,22 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 		}
 		c.shuffle.Ensure(st.ShuffleDep.ShuffleID, st.NumBuckets)
 	}
+	// A stage recreating a shuffle an injected fault destroyed is
+	// recovery work, whether it runs nested (regeneration mid-task) or as
+	// a top-level stage the next job resubmitted; the core time the whole
+	// stage consumes is the recovery cost.
+	faultRecovery := !st.IsResult && c.faultLostShuffles[st.ShuffleDep.ShuffleID]
+	var recoveryStart time.Duration
+	if faultRecovery {
+		recoveryStart = c.coreTimeSum()
+	}
 
 	var results [][]dataflow.Record
 	if st.IsResult {
 		results = make([][]dataflow.Record, st.Boundary.Partitions())
 	}
+	c.emit(eventlog.Event{Kind: eventlog.StageStart, Time: c.Now(), Job: c.curJob,
+		Stage: st.ID, Dataset: st.Boundary.ID(), Regen: st.Regenerated})
 	for p := 0; p < st.Boundary.Partitions(); p++ {
 		ex := c.ExecutorFor(p)
 		ex.PickCore() // least-loaded core runs the task
@@ -217,7 +234,28 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 	if !st.IsResult {
 		c.shuffle.MarkComplete(st.ShuffleDep.ShuffleID)
 	}
+	if faultRecovery {
+		delete(c.faultLostShuffles, st.ShuffleDep.ShuffleID)
+		cost := c.coreTimeSum() - recoveryStart
+		c.met.AddFaultRecovery(c.curJob, cost)
+		c.emit(eventlog.Event{Kind: eventlog.Recovered, Time: c.Now(), Job: c.curJob,
+			Stage: st.ID, Dataset: st.Boundary.ID(), Shuffle: st.ShuffleDep.ShuffleID, Cost: cost})
+	}
 	c.met.RanStages++
+	c.emit(eventlog.Event{Kind: eventlog.StageEnd, Time: c.Now(), Job: c.curJob,
+		Stage: st.ID, Dataset: st.Boundary.ID(), Regen: st.Regenerated})
+
+	if st.Regenerated {
+		// A regenerated stage executes in the middle of an outer task
+		// (a reduce task found its shuffle inputs cleaned). The global
+		// barrier applies only to top-level stages: synchronizing every
+		// executor to the global max here would inflate clocks mid-task
+		// and corrupt the idle budgets of the enclosing stage. The
+		// controller is still told the stage ended — with no barrier
+		// there is no idle slack to hand out.
+		c.ctl.OnStageEnd(st, make([]time.Duration, len(c.execs)))
+		return results
+	}
 
 	// Stage barrier: executors synchronize; the slack each executor had
 	// is reported to the controller as prefetch budget (MRD hides
@@ -229,6 +267,9 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 		ex.SyncTo(end)
 	}
 	c.ctl.OnStageEnd(st, idle)
+	if c.cfg.Hook != nil {
+		c.cfg.Hook.OnStageEnd(c, st)
+	}
 	return results
 }
 
@@ -357,6 +398,14 @@ func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []da
 		c.emit(eventlog.Event{Kind: eventlog.Recomputed, Time: ex.Clock().Now(), Job: c.curJob,
 			Executor: ex.ID, Dataset: ds.ID(), Partition: part, Cost: cost})
 	}
+	if c.faultLost[id] {
+		// The block was destroyed by an injected fault; this
+		// recomputation is its recovery.
+		delete(c.faultLost, id)
+		c.met.AddFaultRecovery(c.curJob, cost)
+		c.emit(eventlog.Event{Kind: eventlog.Recovered, Time: ex.Clock().Now(), Job: c.curJob,
+			Executor: ex.ID, Dataset: ds.ID(), Partition: part, Cost: cost})
+	}
 	c.computedOnce[id] = true
 
 	// The reported production cost (cost_{k→i} on the CostLineage) is
@@ -414,6 +463,7 @@ func (c *Cluster) writeToDisk(ex *Executor, id storage.BlockID, recs []dataflow.
 	if err := ex.Disk.Put(id, recs, size); err != nil {
 		panic(err) // Contains was checked above
 	}
+	c.noteDiskPeak()
 }
 
 // fetchShuffle reads one reduce bucket, regenerating the parent stage if
@@ -448,5 +498,31 @@ func (c *Cluster) regenerateShuffle(dep dataflow.Dependency, childParts int) {
 		Regenerated: true,
 	}
 	c.stageSeq++
+
+	// The regeneration happens in the middle of an outer task: the
+	// nested stage's tasks pick their own cores, so the active-core
+	// indices must be saved and restored, or the outer tasks' remaining
+	// costs would land on whichever core the last nested task used.
+	// (If the shuffle was destroyed by an injected fault, runStage
+	// itself attributes the recovery cost.)
+	saved := make([]int, len(c.execs))
+	for i, ex := range c.execs {
+		saved[i] = ex.cur
+	}
 	c.runStage(st)
+	for i, ex := range c.execs {
+		ex.cur = saved[i]
+	}
+}
+
+// coreTimeSum totals every core clock of every executor — the accumulated
+// virtual work measure used to price fault recoveries.
+func (c *Cluster) coreTimeSum() time.Duration {
+	var t time.Duration
+	for _, ex := range c.execs {
+		for i := range ex.cores {
+			t += ex.cores[i].Now()
+		}
+	}
+	return t
 }

@@ -1,0 +1,75 @@
+package enginetest
+
+import (
+	"fmt"
+
+	"blaze/internal/costmodel"
+	"blaze/internal/dataflow"
+	"blaze/internal/engine"
+	"blaze/internal/faults"
+	"blaze/internal/metrics"
+)
+
+// ClusterSpec shapes the simulated cluster the recovery harness runs on.
+// The zero value selects a 3-executor, 8 KiB-per-executor cluster — small
+// enough to force heavy eviction on the random programs.
+type ClusterSpec struct {
+	Executors int
+	Cores     int
+	Memory    int64
+}
+
+func (s ClusterSpec) withDefaults() ClusterSpec {
+	if s.Executors == 0 {
+		s.Executors = 3
+	}
+	if s.Memory == 0 {
+		s.Memory = 8 * 1024
+	}
+	return s
+}
+
+// RunRandomProgram executes the random program of BuildRandomProgram for
+// the seed on a simulated cluster under the controller, with an optional
+// fault-injection schedule, and returns the action checksums together
+// with the run's metrics. With fcfg == nil it is the fault-free
+// reference execution for that controller.
+//
+// This is the recovery-equivalence harness: whatever faults are injected,
+// the engine's recovery paths (recomputation, disk reload, stage
+// resubmission) must make the returned checksums identical to the
+// fault-free run's, deterministically for a fixed seed.
+func RunRandomProgram(seed int64, spec ClusterSpec, ctl engine.Controller, fcfg *faults.Config) ([]int64, *metrics.App, error) {
+	spec = spec.withDefaults()
+	var hook engine.Hook
+	if fcfg != nil {
+		hook = faults.New(*fcfg)
+	}
+	ctx := dataflow.NewContext()
+	c, err := engine.NewCluster(engine.Config{
+		Executors:         spec.Executors,
+		CoresPerExecutor:  spec.Cores,
+		MemoryPerExecutor: spec.Memory,
+		Params:            costmodel.Default(),
+		Controller:        ctl,
+		Hook:              hook,
+	}, ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("enginetest: %w", err)
+	}
+	sums := BuildRandomProgram(seed, ctx)
+	return sums, c.Finish(), nil
+}
+
+// FaultSchedules enumerates one representative injection schedule per
+// fault class, at both job and stage boundaries, keyed by a descriptive
+// name. Every controller is expected to produce identical action results
+// under each of them.
+func FaultSchedules(seed int64) map[string]faults.Config {
+	out := make(map[string]faults.Config)
+	for _, class := range faults.AllClasses() {
+		out[class.String()+"/job"] = faults.Config{Seed: seed, Classes: []faults.Class{class}}
+		out[class.String()+"/stage"] = faults.Config{Seed: seed, Classes: []faults.Class{class}, AtStageEnd: true, Every: 2}
+	}
+	return out
+}

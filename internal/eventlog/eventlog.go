@@ -34,6 +34,14 @@ const (
 	BlockHit      Kind = "block_hit"
 	BlockDiskHit  Kind = "block_disk_hit"
 	Recomputed    Kind = "recomputed"
+	// FaultInjected records a deliberately injected failure
+	// (internal/faults): Fault names the class, and the block/shuffle
+	// fields identify what was lost.
+	FaultInjected Kind = "fault_injected"
+	// Recovered records the completion of fault recovery: the
+	// recomputation of a fault-lost block or the regeneration of a
+	// fault-cleaned shuffle, with the recovery work in Cost.
+	Recovered Kind = "recovered"
 )
 
 // Event is one log record. Fields are populated according to Kind; zero
@@ -54,6 +62,13 @@ type Event struct {
 	Bytes int64 `json:"bytes,omitempty"`
 	// Cost carries the modeled duration of the event's work.
 	Cost time.Duration `json:"cost,omitempty"`
+	// Regen marks stage events of stages re-run mid-job to recover
+	// cleaned shuffle data (stage resubmission).
+	Regen bool `json:"regen,omitempty"`
+	// Fault names the injected fault class on FaultInjected events.
+	Fault string `json:"fault,omitempty"`
+	// Shuffle identifies the shuffle on shuffle-loss fault events.
+	Shuffle int `json:"shuffle,omitempty"`
 }
 
 // Log is an in-memory, append-only event log.
@@ -112,6 +127,14 @@ type JobSummary struct {
 	Admitted   int
 	Spilled    int
 	Dropped    int
+	// Regenerated counts stages re-run within the job to recover cleaned
+	// shuffle data; Faults and Recoveries count injected faults and
+	// completed fault recoveries, and RecoveryTime the attributed
+	// recovery work.
+	Regenerated  int
+	Faults       int
+	Recoveries   int
+	RecoveryTime time.Duration
 }
 
 // DatasetSummary aggregates one dataset's cache lifecycle.
@@ -187,6 +210,16 @@ func Summarize(l *Log) *Summary {
 		case BlockDropped:
 			job(cur).Dropped++
 			ds(e.Dataset, e.DatasetNm).Dropped++
+		case StageEnd:
+			if e.Regen {
+				job(cur).Regenerated++
+			}
+		case FaultInjected:
+			job(cur).Faults++
+		case Recovered:
+			j := job(cur)
+			j.Recoveries++
+			j.RecoveryTime += e.Cost
 		}
 	}
 	for _, id := range order {

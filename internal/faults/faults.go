@@ -1,0 +1,209 @@
+// Package faults provides deterministic, seed-driven fault injection for
+// the simulated cluster, making the recovery pillar of holistic caching
+// (§4.3, Fig. 5) a first-class, testable scenario rather than an
+// incidental side effect of shuffle cleaning.
+//
+// An Injector implements engine.Hook: it observes job and top-level stage
+// boundaries and, on a configurable period, destroys state the engine
+// must then recover through its three recovery paths — recomputation from
+// lineage, disk reload, and Spark-style stage resubmission on missing
+// shuffle files. Three fault classes are supported:
+//
+//   - ExecutorCacheLoss: every cached block (memory and disk) of one
+//     executor vanishes, modeling an executor restart;
+//   - BlockLoss: a single cached block vanishes from both tiers,
+//     modeling corruption or eviction by the OS;
+//   - ShuffleLoss: a completed shuffle's outputs are cleaned
+//     mid-workload, forcing stage resubmission at the next fetch.
+//
+// All choices (when to fire, which class, which victim) derive from one
+// rand.Rand seeded by Config.Seed over deterministic enumerations of the
+// cluster state, so a run with faults is exactly reproducible — the
+// property the recovery-equivalence harness in internal/enginetest
+// relies on.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"blaze/internal/engine"
+	"blaze/internal/storage"
+)
+
+// Class enumerates the fault classes.
+type Class int
+
+const (
+	// ExecutorCacheLoss drops all memory and disk blocks of one executor.
+	ExecutorCacheLoss Class = iota
+	// BlockLoss drops a single cached block from both tiers.
+	BlockLoss
+	// ShuffleLoss cleans a completed shuffle's outputs.
+	ShuffleLoss
+)
+
+// String names the fault class.
+func (c Class) String() string {
+	switch c {
+	case ExecutorCacheLoss:
+		return "exec"
+	case BlockLoss:
+		return "block"
+	case ShuffleLoss:
+		return "shuffle"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// AllClasses lists every fault class.
+func AllClasses() []Class { return []Class{ExecutorCacheLoss, BlockLoss, ShuffleLoss} }
+
+// ParseClasses parses a comma-separated class list ("exec,shuffle",
+// "block", or "all").
+func ParseClasses(spec string) ([]Class, error) {
+	var out []Class
+	for _, f := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(f) {
+		case "":
+		case "all":
+			out = append(out, AllClasses()...)
+		case "exec":
+			out = append(out, ExecutorCacheLoss)
+		case "block":
+			out = append(out, BlockLoss)
+		case "shuffle":
+			out = append(out, ShuffleLoss)
+		default:
+			return nil, fmt.Errorf("faults: unknown fault class %q (want exec, block, shuffle or all)", strings.TrimSpace(f))
+		}
+	}
+	return out, nil
+}
+
+// Config describes an injection schedule.
+type Config struct {
+	// Seed drives every pseudo-random choice the injector makes.
+	Seed int64
+	// Classes lists the fault classes to draw from; empty injects
+	// nothing.
+	Classes []Class
+	// Every fires one fault per Every observed boundaries (default 1).
+	Every int
+	// AtStageEnd fires at top-level stage boundaries instead of job
+	// boundaries, exercising mid-job recovery (regeneration inside a
+	// running job rather than at its start).
+	AtStageEnd bool
+	// MaxFaults caps the total injections; 0 means unlimited.
+	MaxFaults int
+}
+
+// Injector injects faults at cluster boundaries. It implements
+// engine.Hook; attach it via engine.Config.Hook.
+type Injector struct {
+	cfg        Config
+	rng        *rand.Rand
+	boundaries int
+	injected   int
+	byClass    map[Class]int
+}
+
+// New creates an injector for the schedule.
+func New(cfg Config) *Injector {
+	if cfg.Every <= 0 {
+		cfg.Every = 1
+	}
+	return &Injector{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		byClass: make(map[Class]int),
+	}
+}
+
+// Injected returns the number of faults injected so far.
+func (in *Injector) Injected() int { return in.injected }
+
+// InjectedByClass returns the number of injected faults of one class.
+func (in *Injector) InjectedByClass(c Class) int { return in.byClass[c] }
+
+// OnJobStart implements engine.Hook (no injection at job start: the DAG
+// was just built against the current cache state).
+func (in *Injector) OnJobStart(c *engine.Cluster, j *engine.Job) {}
+
+// OnStageEnd implements engine.Hook.
+func (in *Injector) OnStageEnd(c *engine.Cluster, st *engine.Stage) {
+	if in.cfg.AtStageEnd {
+		in.tick(c)
+	}
+}
+
+// OnJobEnd implements engine.Hook.
+func (in *Injector) OnJobEnd(c *engine.Cluster, j *engine.Job) {
+	if !in.cfg.AtStageEnd {
+		in.tick(c)
+	}
+}
+
+// tick counts one boundary and injects when the period elapses.
+func (in *Injector) tick(c *engine.Cluster) {
+	if len(in.cfg.Classes) == 0 {
+		return
+	}
+	if in.cfg.MaxFaults > 0 && in.injected >= in.cfg.MaxFaults {
+		return
+	}
+	in.boundaries++
+	if in.boundaries%in.cfg.Every != 0 {
+		return
+	}
+	class := in.cfg.Classes[in.rng.Intn(len(in.cfg.Classes))]
+	if in.inject(c, class) {
+		in.injected++
+		in.byClass[class]++
+	}
+}
+
+// inject performs one fault of the class, choosing the victim
+// pseudo-randomly over a deterministic enumeration of the cluster state.
+// Returns false when no victim exists (nothing cached, no complete
+// shuffle).
+func (in *Injector) inject(c *engine.Cluster, class Class) bool {
+	switch class {
+	case ExecutorCacheLoss:
+		exs := c.Executors()
+		ex := exs[in.rng.Intn(len(exs))]
+		c.InjectExecutorCacheLoss(ex)
+		return true
+	case BlockLoss:
+		type cand struct {
+			ex *engine.Executor
+			id storage.BlockID
+		}
+		var cands []cand
+		for _, ex := range c.Executors() {
+			for _, m := range ex.Mem.Blocks() {
+				cands = append(cands, cand{ex, m.ID})
+			}
+			for _, id := range ex.Disk.Blocks() {
+				if !ex.Mem.Contains(id) {
+					cands = append(cands, cand{ex, id})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return false
+		}
+		pick := cands[in.rng.Intn(len(cands))]
+		return c.InjectBlockLoss(pick.ex, pick.id)
+	case ShuffleLoss:
+		ids := c.CompletedShuffles()
+		if len(ids) == 0 {
+			return false
+		}
+		return c.InjectShuffleLoss(ids[in.rng.Intn(len(ids))])
+	default:
+		return false
+	}
+}

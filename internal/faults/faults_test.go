@@ -1,0 +1,122 @@
+package faults_test
+
+// The injector tests live in an external test package because
+// enginetest (the harness they drive) imports faults.
+
+import (
+	"reflect"
+	"testing"
+
+	"blaze/internal/engine"
+	"blaze/internal/enginetest"
+	"blaze/internal/faults"
+)
+
+func TestParseClasses(t *testing.T) {
+	got, err := faults.ParseClasses("exec, shuffle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []faults.Class{faults.ExecutorCacheLoss, faults.ShuffleLoss}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseClasses = %v, want %v", got, want)
+	}
+	got, err = faults.ParseClasses("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, faults.AllClasses()) {
+		t.Fatalf("ParseClasses(all) = %v, want %v", got, faults.AllClasses())
+	}
+	if _, err := faults.ParseClasses("exec,bogus"); err == nil {
+		t.Fatal("ParseClasses accepted an unknown class")
+	}
+}
+
+// TestInjectionIsDeterministic runs the same faulty schedule twice and
+// requires bit-identical results and metrics — the property every
+// recovery experiment rests on.
+func TestInjectionIsDeterministic(t *testing.T) {
+	cfg := faults.Config{Seed: 7, Classes: faults.AllClasses(), AtStageEnd: true}
+	run := func() ([]int64, int, int64, int64) {
+		sums, m, err := enginetest.RunRandomProgram(3, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums, m.FaultsInjected, m.FaultBytesLost, int64(m.ACT)
+	}
+	s1, n1, b1, act1 := run()
+	s2, n2, b2, act2 := run()
+	if n1 == 0 {
+		t.Fatal("schedule injected no faults")
+	}
+	if !reflect.DeepEqual(s1, s2) || n1 != n2 || b1 != b2 || act1 != act2 {
+		t.Fatalf("two identical faulty runs diverged: (%v,%d,%d,%d) vs (%v,%d,%d,%d)",
+			s1, n1, b1, act1, s2, n2, b2, act2)
+	}
+}
+
+// TestEachClassInjectsAndIsAccounted checks every class actually fires
+// on the random programs and shows up in the per-class metrics.
+func TestEachClassInjectsAndIsAccounted(t *testing.T) {
+	for _, class := range faults.AllClasses() {
+		injected, recovered := false, false
+		for seed := int64(1); seed <= 6; seed++ {
+			cfg := faults.Config{Seed: seed, Classes: []faults.Class{class}, AtStageEnd: true}
+			_, m, err := enginetest.RunRandomProgram(seed, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.FaultsInjected > 0 {
+				injected = true
+			}
+			switch class {
+			case faults.BlockLoss:
+				if m.FaultsInjected > 0 && m.FaultBlocksLost == 0 {
+					t.Fatalf("seed %d: block faults injected but no blocks lost", seed)
+				}
+			case faults.ShuffleLoss:
+				if m.FaultsInjected > 0 && m.FaultShufflesLost == 0 {
+					t.Fatalf("seed %d: shuffle faults injected but no shuffles lost", seed)
+				}
+			}
+			if m.TotalFaultRecovery() > 0 {
+				recovered = true
+			}
+		}
+		if !injected {
+			t.Errorf("class %v never injected across seeds", class)
+		}
+		if !recovered {
+			t.Errorf("class %v never attributed recovery time across seeds", class)
+		}
+	}
+}
+
+// TestEveryAndMaxFaults checks the schedule knobs: Every thins the
+// boundary stream and MaxFaults caps the total.
+func TestEveryAndMaxFaults(t *testing.T) {
+	dense := faults.Config{Seed: 2, Classes: []faults.Class{faults.ExecutorCacheLoss}, AtStageEnd: true}
+	sparse := dense
+	sparse.Every = 4
+	capped := dense
+	capped.MaxFaults = 1
+
+	count := func(cfg faults.Config) int {
+		_, m, err := enginetest.RunRandomProgram(2, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.FaultsInjected
+	}
+	nd, ns, nc := count(dense), count(sparse), count(capped)
+	if nd == 0 {
+		t.Fatal("dense schedule injected nothing")
+	}
+	if ns >= nd {
+		t.Fatalf("Every=4 injected %d faults, dense injected %d", ns, nd)
+	}
+	if nc != 1 {
+		t.Fatalf("MaxFaults=1 injected %d faults", nc)
+	}
+}

@@ -1,0 +1,31 @@
+package faults_test
+
+import (
+	"testing"
+
+	"blaze/internal/engine"
+	"blaze/internal/enginetest"
+	"blaze/internal/faults"
+)
+
+// TestJobBoundaryShuffleLossAttributed exercises the other shuffle
+// recovery path: a shuffle destroyed BETWEEN jobs is rebuilt by the next
+// job resubmitting the map stage top-level, and that stage's cost must
+// be attributed as fault recovery.
+func TestJobBoundaryShuffleLossAttributed(t *testing.T) {
+	attributed := false
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := faults.Config{Seed: seed, Classes: []faults.Class{faults.ShuffleLoss}}
+		_, m, err := enginetest.RunRandomProgram(seed, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.FaultShufflesLost > 0 && m.TotalFaultRecovery() > 0 {
+			attributed = true
+			break
+		}
+	}
+	if !attributed {
+		t.Fatal("no seed attributed recovery for job-boundary shuffle loss")
+	}
+}

@@ -46,6 +46,11 @@ type ExecutorStats struct {
 	EvictedBytes int64
 	// EvictedToDiskBytes counts the subset spilled to disk.
 	EvictedToDiskBytes int64
+	// DiskPeakBytes is this executor's own peak on-disk footprint. The
+	// per-executor peaks occur at different virtual times, so their sum
+	// overstates the cluster-wide peak; see App.DiskPeakBytes for the
+	// true concurrent peak.
+	DiskPeakBytes int64
 	// Tasks counts tasks executed.
 	Tasks int
 }
@@ -73,6 +78,20 @@ type App struct {
 	// job (jobs are iterations in iterative workloads), feeding Fig. 5.
 	RecomputeByJob []time.Duration
 
+	// FaultsInjected counts injected faults (internal/faults), and
+	// FaultBlocksLost / FaultBytesLost / FaultShufflesLost the cache
+	// blocks, bytes and completed shuffles they destroyed.
+	FaultsInjected    int
+	FaultBlocksLost   int
+	FaultBytesLost    int64
+	FaultShufflesLost int
+
+	// FaultRecoveryByJob attributes the recovery work caused by injected
+	// faults (recomputation of fault-lost blocks, regeneration of
+	// fault-cleaned shuffles) to the job that paid for it — the same
+	// per-job attribution Fig. 5 uses for ordinary cache-miss recovery.
+	FaultRecoveryByJob []time.Duration
+
 	// ILPSolves and ILPNodes record optimizer activity for Blaze.
 	ILPSolves int
 	ILPNodes  int
@@ -85,7 +104,10 @@ type App struct {
 	ACT time.Duration
 
 	// DiskBytesWritten is the cumulative cache data written to disk;
-	// DiskPeakBytes the peak on-disk footprint.
+	// DiskPeakBytes the cluster-wide peak on-disk footprint, maintained
+	// on every disk write so that per-executor peaks reached at
+	// different virtual times are not conflated (§7.2 reports the
+	// cluster-level peak).
 	DiskBytesWritten int64
 	DiskPeakBytes    int64
 
@@ -131,6 +153,24 @@ func (a *App) AddRecompute(job int, d time.Duration) {
 func (a *App) TotalRecompute() time.Duration {
 	var t time.Duration
 	for _, d := range a.RecomputeByJob {
+		t += d
+	}
+	return t
+}
+
+// AddFaultRecovery attributes fault-recovery time to a job index, growing
+// the per-job series as needed.
+func (a *App) AddFaultRecovery(job int, d time.Duration) {
+	for len(a.FaultRecoveryByJob) <= job {
+		a.FaultRecoveryByJob = append(a.FaultRecoveryByJob, 0)
+	}
+	a.FaultRecoveryByJob[job] += d
+}
+
+// TotalFaultRecovery sums fault-recovery time across jobs.
+func (a *App) TotalFaultRecovery() time.Duration {
+	var t time.Duration
+	for _, d := range a.FaultRecoveryByJob {
 		t += d
 	}
 	return t

@@ -10,6 +10,7 @@ package shuffle
 
 import (
 	"fmt"
+	"sort"
 
 	"blaze/internal/dataflow"
 )
@@ -85,6 +86,19 @@ func (s *Service) Fetch(shuffleID, bucket int) ([]dataflow.Record, int64, error)
 // regeneration.
 func (s *Service) Clean(shuffleID int) {
 	delete(s.outputs, shuffleID)
+}
+
+// CompleteIDs lists the ids of all complete shuffles in ascending order,
+// for deterministic enumeration by the fault injector.
+func (s *Service) CompleteIDs() []int {
+	var ids []int
+	for id, o := range s.outputs {
+		if o.complete {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // TotalWritten reports cumulative shuffle bytes written.

@@ -1,0 +1,111 @@
+package blaze_test
+
+// Recovery-equivalence harness (the acceptance test for the fault
+// injector): every caching controller, run under every fault class at
+// both job and stage boundaries, must produce action results identical
+// to its own fault-free run — and to the local reference execution —
+// with recovery time attributed whenever data was actually lost.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"blaze/internal/core"
+	"blaze/internal/engine"
+	"blaze/internal/enginetest"
+)
+
+func recoveryControllers() map[string]func() engine.Controller {
+	return map[string]func() engine.Controller{
+		"spark-mem":     func() engine.Controller { return engine.NewSparkMemOnly() },
+		"spark-memdisk": func() engine.Controller { return engine.NewSparkMemDisk() },
+		"lrc":           func() engine.Controller { return engine.NewLRC(engine.MemDisk) },
+		"mrd":           func() engine.Controller { return engine.NewMRD(engine.MemDisk) },
+		"blaze":         func() engine.Controller { return core.NewBlaze() },
+	}
+}
+
+// TestRecoveryEquivalence is the full matrix: controllers x fault
+// schedules x seeds. Faults may change how work gets done (recomputation,
+// disk reloads, stage resubmission) but never what is computed.
+func TestRecoveryEquivalence(t *testing.T) {
+	names := make([]string, 0)
+	ctls := recoveryControllers()
+	for name := range ctls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for seed := int64(1); seed <= 4; seed++ {
+		want := enginetest.RefChecksums(seed)
+		schedules := enginetest.FaultSchedules(seed)
+		scheduleNames := make([]string, 0, len(schedules))
+		for s := range schedules {
+			scheduleNames = append(scheduleNames, s)
+		}
+		sort.Strings(scheduleNames)
+
+		for _, name := range names {
+			mk := ctls[name]
+			// Fault-free baseline on the simulated cluster must already
+			// match the local reference runner.
+			base, _, err := enginetest.RunRandomProgram(seed, enginetest.ClusterSpec{}, mk(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, want) {
+				t.Fatalf("seed %d %s: fault-free run diverges from reference: %v != %v", seed, name, base, want)
+			}
+			faults, lost := 0, 0
+			for _, sname := range scheduleNames {
+				cfg := schedules[sname]
+				got, m, err := enginetest.RunRandomProgram(seed, enginetest.ClusterSpec{}, mk(), &cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("seed %d %s under %s: results diverge: %v != %v", seed, name, sname, got, want)
+					continue
+				}
+				faults += m.FaultsInjected
+				lost += m.FaultBlocksLost + m.FaultShufflesLost
+			}
+			// The matrix must actually exercise recovery, not pass
+			// vacuously on schedules that never found a victim.
+			if faults == 0 {
+				t.Errorf("seed %d %s: no faults injected across any schedule", seed, name)
+			}
+			if lost == 0 {
+				t.Errorf("seed %d %s: no state destroyed across any schedule", seed, name)
+			}
+		}
+	}
+}
+
+// TestRecoveryRunsAreDeterministic repeats one faulty run per fault
+// class for one controller and requires identical metrics, not just
+// identical results.
+func TestRecoveryRunsAreDeterministic(t *testing.T) {
+	const seed = 2
+	for sname, cfg := range enginetest.FaultSchedules(seed) {
+		cfg := cfg
+		s1, m1, err := enginetest.RunRandomProgram(seed, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, m2, err := enginetest.RunRandomProgram(seed, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("%s: results differ across identical runs", sname)
+		}
+		if m1.ACT != m2.ACT || m1.FaultsInjected != m2.FaultsInjected ||
+			m1.TotalFaultRecovery() != m2.TotalFaultRecovery() {
+			t.Fatalf("%s: metrics differ across identical runs: ACT %v/%v faults %d/%d recovery %v/%v",
+				sname, m1.ACT, m2.ACT, m1.FaultsInjected, m2.FaultsInjected,
+				m1.TotalFaultRecovery(), m2.TotalFaultRecovery())
+		}
+	}
+}
