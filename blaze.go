@@ -21,7 +21,6 @@ import (
 	"blaze/internal/costmodel"
 	"blaze/internal/dataflow"
 	"blaze/internal/engine"
-	"blaze/internal/eventlog"
 	"blaze/internal/faults"
 	"blaze/internal/metrics"
 )
@@ -99,28 +98,30 @@ type RunConfig struct {
 	// capacity constraint to the Blaze ILP (Eq. 6 extension).
 	DiskCapacity int64
 	// EventLog, when non-nil, records structured execution events for
-	// post-run auditing (see internal/eventlog).
-	EventLog *eventlog.Log
+	// post-run auditing. Construct one with NewEventLog.
+	EventLog *EventLog
 	// Faults, when non-nil, attaches a deterministic, seed-driven fault
-	// injector (see internal/faults) that destroys cached blocks or
-	// completed shuffles at scheduling boundaries, exercising the
-	// recovery paths; fault counts and per-job recovery time land in
-	// the returned metrics.
-	Faults *faults.Config
+	// injector that destroys cached blocks, shuffle outputs (whole or a
+	// single bucket) or entire executors at scheduling boundaries,
+	// exercising the recovery paths; fault counts and per-job recovery
+	// time land in the returned metrics.
+	Faults *FaultConfig
 	// ILPWindow overrides how many successor jobs Blaze's ILP objective
-	// covers (-1 = the workload default of 1, §5.5; 0 = current job
-	// only). Only meaningful for the Blaze systems.
-	ILPWindow int
+	// covers. nil keeps the default of 1 (§5.5); ILPWindow(0) restricts
+	// the objective to the current job only; a negative value is ignored
+	// like nil (the old -1 sentinel keeps working). Only meaningful for
+	// the Blaze systems.
+	ILPWindow *int
 }
+
+// ILPWindow builds the RunConfig.ILPWindow value for an explicit window:
+// blaze.ILPWindow(0) prices the current job only.
+func ILPWindow(jobs int) *int { return &jobs }
 
 func (c RunConfig) withDefaults() RunConfig {
 	if c.Executors == 0 {
 		c.Executors = 8
 	}
-	if c.ILPWindow == 0 {
-		c.ILPWindow = 1
-	}
-
 	if c.Scale == 0 {
 		c.Scale = 1.0
 	}
@@ -238,7 +239,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		}
 	}
 
-	ctl, annotated, alluxio, profiled, err := buildSystem(cfg, spec)
+	sys, err := buildSystem(cfg, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -253,19 +254,19 @@ func Run(cfg RunConfig) (*Result, error) {
 		CoresPerExecutor:  cfg.Cores,
 		MemoryPerExecutor: mem,
 		Params:            params,
-		Controller:        ctl,
-		AlluxioMode:       alluxio,
+		Controller:        sys.ctl,
+		AlluxioMode:       sys.alluxio,
 		EventLog:          cfg.EventLog,
 		Hook:              hook,
 	}, ctx)
 	if err != nil {
 		return nil, err
 	}
-	if profiled {
+	if sys.profiled {
 		cluster.AddProfilingTime(core.DefaultProfilingOverhead)
 	}
 
-	if annotated {
+	if sys.annotated {
 		spec.Annotated(ctx, cfg.Scale)
 	} else {
 		spec.Plain(ctx, cfg.Scale)
@@ -274,54 +275,65 @@ func Run(cfg RunConfig) (*Result, error) {
 	return &Result{System: cfg.System, Workload: cfg.Workload, Metrics: m, MemoryPerExecutor: mem}, nil
 }
 
-// buildSystem constructs the controller for a system id. It reports
-// whether the workload should run with user annotations, whether the
-// cluster models an external (Alluxio) store, and whether a profiling
-// phase preceded execution (its overhead is charged into the ACT, §7.2).
-func buildSystem(cfg RunConfig, spec WorkloadSpec) (ctl engine.Controller, annotated, alluxio, profiled bool, err error) {
+// systemSpec is the execution recipe buildSystem derives from a system
+// id: the controller plus the run-mode switches it requires.
+type systemSpec struct {
+	// ctl makes the caching decisions.
+	ctl engine.Controller
+	// annotated runs the workload with user cache annotations (the
+	// Spark-style systems); Blaze derives decisions from its profile.
+	annotated bool
+	// alluxio models caching through an external tiered store.
+	alluxio bool
+	// profiled charges the dependency-extraction phase into the ACT.
+	profiled bool
+}
+
+// buildSystem constructs the execution recipe for a system id.
+func buildSystem(cfg RunConfig, spec WorkloadSpec) (systemSpec, error) {
 	profileSkeleton := func() *core.Skeleton {
 		return core.Profile(core.Workload(spec.Plain), cfg.ProfileScale)
 	}
 	switch cfg.System {
 	case SysSparkMem:
-		return engine.NewSparkMemOnly(), true, false, false, nil
+		return systemSpec{ctl: engine.NewSparkMemOnly(), annotated: true}, nil
 	case SysSparkMemDisk:
-		return engine.NewSparkMemDisk(), true, false, false, nil
+		return systemSpec{ctl: engine.NewSparkMemDisk(), annotated: true}, nil
 	case SysSparkAlluxio:
-		return engine.NewAlluxio(), true, true, false, nil
+		return systemSpec{ctl: engine.NewAlluxio(), annotated: true, alluxio: true}, nil
 	case SysLRC:
-		return engine.NewLRC(engine.MemDisk), true, false, false, nil
+		return systemSpec{ctl: engine.NewLRC(engine.MemDisk), annotated: true}, nil
 	case SysMRD:
-		return engine.NewMRD(engine.MemDisk), true, false, false, nil
+		return systemSpec{ctl: engine.NewMRD(engine.MemDisk), annotated: true}, nil
 	case SysLRCMem:
-		return engine.NewLRC(engine.MemOnly), true, false, false, nil
+		return systemSpec{ctl: engine.NewLRC(engine.MemOnly), annotated: true}, nil
 	case SysMRDMem:
-		return engine.NewMRD(engine.MemOnly), true, false, false, nil
+		return systemSpec{ctl: engine.NewMRD(engine.MemOnly), annotated: true}, nil
 	case SysAutoCache:
-		return core.NewAutoCache().WithSkeleton(profileSkeleton()), false, false, true, nil
+		return systemSpec{ctl: core.NewAutoCache().WithSkeleton(profileSkeleton()), profiled: true}, nil
 	case SysCostAware:
-		return core.NewCostAware().WithSkeleton(profileSkeleton()), false, false, true, nil
+		return systemSpec{ctl: core.NewCostAware().WithSkeleton(profileSkeleton()), profiled: true}, nil
 	case SysBlaze:
 		b := core.NewBlaze().WithSkeleton(profileSkeleton())
 		if cfg.DiskCapacity > 0 {
 			b.WithDiskCapacity(cfg.DiskCapacity)
 		}
-		if cfg.ILPWindow >= 0 {
-			b.WithWindow(cfg.ILPWindow)
+		if w := cfg.ILPWindow; w != nil && *w >= 0 {
+			b.WithWindow(*w)
 		}
-		return b, false, false, true, nil
+		return systemSpec{ctl: b, profiled: true}, nil
 	case SysBlazeMem:
-		return core.NewBlazeMemOnly().WithSkeleton(profileSkeleton()), false, false, true, nil
+		return systemSpec{ctl: core.NewBlazeMemOnly().WithSkeleton(profileSkeleton()), profiled: true}, nil
 	case SysBlazeNoProfile:
-		return core.NewBlaze(), false, false, false, nil
+		return systemSpec{ctl: core.NewBlaze()}, nil
 	default:
 		if name, ok := strings.CutPrefix(string(cfg.System), "policy-"); ok {
 			p, found := cachepolicy.ByName(name)
 			if !found {
-				return nil, false, false, false, fmt.Errorf("blaze: unknown eviction policy %q", name)
+				return systemSpec{}, fmt.Errorf("blaze: unknown eviction policy %q", name)
 			}
-			return engine.NewAnnotation(string(cfg.System), engine.MemDisk, p, false), true, false, false, nil
+			return systemSpec{ctl: engine.NewAnnotation(string(cfg.System), engine.MemDisk, p, false), annotated: true}, nil
 		}
-		return nil, false, false, false, fmt.Errorf("blaze: unknown system %q", cfg.System)
+		return systemSpec{}, fmt.Errorf("blaze: unknown system %q", cfg.System)
 	}
 }

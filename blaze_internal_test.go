@@ -1,0 +1,114 @@
+package blaze
+
+// White-box tests for the facade internals: withDefaults, the
+// buildSystem recipe table, and the ILPWindow plumbing (the regression
+// test for the old int field whose documented 0 value was remapped to 1
+// before it could reach the controller).
+
+import (
+	"testing"
+
+	"blaze/internal/core"
+)
+
+func TestWithDefaults(t *testing.T) {
+	d := RunConfig{}.withDefaults()
+	if d.Executors != 8 {
+		t.Fatalf("default Executors = %d, want 8", d.Executors)
+	}
+	if d.Scale != 1.0 {
+		t.Fatalf("default Scale = %v, want 1.0", d.Scale)
+	}
+	if d.ProfileScale != 0.02 {
+		t.Fatalf("default ProfileScale = %v, want 0.02", d.ProfileScale)
+	}
+	if d.ILPWindow != nil {
+		t.Fatalf("defaults must leave ILPWindow nil, got %d", *d.ILPWindow)
+	}
+
+	c := RunConfig{
+		Executors:    3,
+		Scale:        0.5,
+		ProfileScale: 0.1,
+		ILPWindow:    ILPWindow(0),
+	}.withDefaults()
+	if c.Executors != 3 || c.Scale != 0.5 || c.ProfileScale != 0.1 {
+		t.Fatalf("explicit values clobbered: %+v", c)
+	}
+	if c.ILPWindow == nil || *c.ILPWindow != 0 {
+		t.Fatal("ILPWindow(0) must survive withDefaults (the old int field remapped 0 to 1)")
+	}
+}
+
+func TestBuildSystemRecipes(t *testing.T) {
+	spec, err := Workload(LR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		sys                          SystemID
+		annotated, alluxio, profiled bool
+	}{
+		{SysSparkMem, true, false, false},
+		{SysSparkMemDisk, true, false, false},
+		{SysSparkAlluxio, true, true, false},
+		{SysLRC, true, false, false},
+		{SysMRD, true, false, false},
+		{SysLRCMem, true, false, false},
+		{SysMRDMem, true, false, false},
+		{SysAutoCache, false, false, true},
+		{SysCostAware, false, false, true},
+		{SysBlaze, false, false, true},
+		{SysBlazeMem, false, false, true},
+		{SysBlazeNoProfile, false, false, false},
+		{PolicySystem("tinylfu"), true, false, false},
+	}
+	for _, tc := range tests {
+		t.Run(string(tc.sys), func(t *testing.T) {
+			sys, err := buildSystem(RunConfig{System: tc.sys}.withDefaults(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sys.ctl == nil {
+				t.Fatal("no controller built")
+			}
+			if sys.annotated != tc.annotated || sys.alluxio != tc.alluxio || sys.profiled != tc.profiled {
+				t.Fatalf("spec = %+v, want annotated=%v alluxio=%v profiled=%v",
+					sys, tc.annotated, tc.alluxio, tc.profiled)
+			}
+		})
+	}
+	if _, err := buildSystem(RunConfig{System: "nope"}.withDefaults(), spec); err == nil {
+		t.Fatal("unknown system must error")
+	}
+	if _, err := buildSystem(RunConfig{System: PolicySystem("nope")}.withDefaults(), spec); err == nil {
+		t.Fatal("unknown eviction policy must error")
+	}
+}
+
+func TestILPWindowReachesController(t *testing.T) {
+	spec, err := Workload(LR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := func(w *int) int {
+		t.Helper()
+		sys, err := buildSystem(RunConfig{System: SysBlaze, ILPWindow: w}.withDefaults(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.ctl.(*core.Controller).Window()
+	}
+	if got := window(nil); got != 1 {
+		t.Fatalf("nil window = %d, want the default 1", got)
+	}
+	if got := window(ILPWindow(0)); got != 0 {
+		t.Fatalf("ILPWindow(0) = %d, want 0 (current job only)", got)
+	}
+	if got := window(ILPWindow(3)); got != 3 {
+		t.Fatalf("ILPWindow(3) = %d, want 3", got)
+	}
+	if got := window(ILPWindow(-1)); got != 1 {
+		t.Fatalf("ILPWindow(-1) = %d, want the default 1 (old sentinel)", got)
+	}
+}

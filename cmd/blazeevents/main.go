@@ -13,7 +13,7 @@ import (
 	"os"
 	"sort"
 
-	"blaze/internal/eventlog"
+	"blaze"
 )
 
 func main() {
@@ -27,12 +27,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	log, err := eventlog.ReadJSON(f)
+	log, err := blaze.ReadEventLog(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "blazeevents: %v\n", err)
 		os.Exit(1)
 	}
-	sum := eventlog.Summarize(log)
+	sum := blaze.SummarizeEventLog(log)
 
 	fmt.Printf("%d events, %d jobs\n\n", log.Len(), len(sum.Jobs))
 	fmt.Printf("%-6s %12s %8s %8s %8s %8s %8s %8s %8s\n",

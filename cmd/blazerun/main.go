@@ -15,8 +15,6 @@ import (
 	"time"
 
 	"blaze"
-	"blaze/internal/eventlog"
-	"blaze/internal/faults"
 )
 
 func main() {
@@ -26,25 +24,25 @@ func main() {
 	frac := flag.Float64("frac", 0, "memory fraction of the calibrated peak (0 = workload default)")
 	scale := flag.Float64("scale", 1.0, "input scale factor")
 	events := flag.String("events", "", "write a JSON-lines event log to this path and print a per-job summary")
-	faultSpec := flag.String("faults", "", "inject faults: comma-separated classes (exec, block, shuffle, all); empty = none")
+	faultSpec := flag.String("faults", "", "inject faults: comma-separated classes (exec, block, shuffle, exec-death, bucket, all); empty = none")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 	faultEvery := flag.Int("fault-every", 1, "inject one fault per N boundaries")
 	faultStage := flag.Bool("fault-stage", false, "inject at stage boundaries instead of job boundaries")
 	faultMax := flag.Int("fault-max", 0, "cap on injected faults (0 = unlimited)")
 	flag.Parse()
 
-	var log *eventlog.Log
+	var log *blaze.EventLog
 	if *events != "" {
-		log = eventlog.New()
+		log = blaze.NewEventLog()
 	}
-	var fcfg *faults.Config
+	var fcfg *blaze.FaultConfig
 	if *faultSpec != "" {
-		classes, err := faults.ParseClasses(*faultSpec)
+		classes, err := blaze.ParseFaultClasses(*faultSpec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "blazerun: %v\n", err)
 			os.Exit(1)
 		}
-		fcfg = &faults.Config{
+		fcfg = &blaze.FaultConfig{
 			Seed:       *faultSeed,
 			Classes:    classes,
 			Every:      *faultEvery,
@@ -84,6 +82,19 @@ func main() {
 		fmt.Printf("faults            injected=%d blocksLost=%d bytesLost=%d shufflesLost=%d recovery=%v\n",
 			m.FaultsInjected, m.FaultBlocksLost, m.FaultBytesLost, m.FaultShufflesLost,
 			m.TotalFaultRecovery().Round(time.Microsecond))
+		if m.ExecutorDeaths > 0 {
+			fmt.Printf("  exec deaths     %d (migrated %d partitions, rebalance %v)\n",
+				m.ExecutorDeaths, m.MigratedPartitions, m.RebalanceTime.Round(time.Microsecond))
+		}
+		if m.FaultMapOutputsLost > 0 {
+			fmt.Printf("  map outputs     lost=%d (buckets=%d, %d bytes)\n",
+				m.FaultMapOutputsLost, m.FaultBucketsLost, m.FaultShuffleBytesLost)
+		}
+		for _, class := range blaze.AllFaultClasses() {
+			if d, ok := m.FaultRecoveryByClass[class.String()]; ok {
+				fmt.Printf("  recovery[%s] %v\n", class, d.Round(time.Microsecond))
+			}
+		}
 	}
 	if m.ILPSolves > 0 {
 		fmt.Printf("ILP               solves=%d nodes=%d\n", m.ILPSolves, m.ILPNodes)
@@ -99,7 +110,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "blazerun: %v\n", err)
 			os.Exit(1)
 		}
-		sum := eventlog.Summarize(log)
+		sum := blaze.SummarizeEventLog(log)
 		fmt.Printf("\nevent log         %d events -> %s\n", log.Len(), *events)
 		fmt.Printf("%-6s %10s %8s %8s %8s %8s %8s\n", "job", "tasks", "hits", "diskhits", "recomp", "admit", "spill")
 		for _, j := range sum.Jobs {

@@ -1,0 +1,62 @@
+package blaze
+
+// This file re-exports the internal fault-injection and event-log types
+// that RunConfig accepts. External importers of the module cannot name
+// internal packages, so the facade provides type aliases and thin
+// constructors: a blaze.FaultConfig IS a faults.Config and a
+// blaze.EventLog IS an eventlog.Log — no conversion, no drift.
+
+import (
+	"io"
+
+	"blaze/internal/eventlog"
+	"blaze/internal/faults"
+)
+
+// EventLog records structured execution events (jobs, stages, tasks,
+// cache lifecycle, faults and recoveries) when attached to a run via
+// RunConfig.EventLog. See internal/eventlog for the event vocabulary.
+type EventLog = eventlog.Log
+
+// EventSummary is the replayed per-job / per-dataset view of an EventLog.
+type EventSummary = eventlog.Summary
+
+// NewEventLog creates an empty event log to attach to a RunConfig.
+func NewEventLog() *EventLog { return eventlog.New() }
+
+// ReadEventLog parses a JSON-lines event log written by EventLog.WriteJSON.
+func ReadEventLog(r io.Reader) (*EventLog, error) { return eventlog.ReadJSON(r) }
+
+// SummarizeEventLog replays a log into per-job and per-dataset statistics.
+func SummarizeEventLog(l *EventLog) *EventSummary { return eventlog.Summarize(l) }
+
+// FaultConfig describes a deterministic, seed-driven fault-injection
+// schedule to attach via RunConfig.Faults. See internal/faults.
+type FaultConfig = faults.Config
+
+// FaultClass enumerates the injectable fault classes.
+type FaultClass = faults.Class
+
+// The fault classes.
+const (
+	// FaultExecutorCacheLoss drops every cached block of one executor
+	// (an executor restart).
+	FaultExecutorCacheLoss = faults.ExecutorCacheLoss
+	// FaultBlockLoss drops a single cached block from both tiers.
+	FaultBlockLoss = faults.BlockLoss
+	// FaultShuffleLoss cleans a completed shuffle's outputs whole.
+	FaultShuffleLoss = faults.ShuffleLoss
+	// FaultExecutorDeath kills one executor permanently: its cache and
+	// map outputs are lost and its partitions migrate to the survivors.
+	FaultExecutorDeath = faults.ExecutorDeath
+	// FaultBucketLoss destroys one map-output bucket, re-running only
+	// the producing map task.
+	FaultBucketLoss = faults.BucketLoss
+)
+
+// ParseFaultClasses parses a comma-separated class list
+// ("exec,shuffle", "exec-death", "bucket", or "all").
+func ParseFaultClasses(spec string) ([]FaultClass, error) { return faults.ParseClasses(spec) }
+
+// AllFaultClasses lists every fault class.
+func AllFaultClasses() []FaultClass { return faults.AllClasses() }

@@ -138,6 +138,10 @@ func (b *Controller) WithWindow(jobs int) *Controller {
 	return b
 }
 
+// Window returns the configured ILP window in jobs (0 = current job
+// only).
+func (b *Controller) Window() int { return b.ilpWindow }
+
 // Lineage exposes the cost lineage (tests and tools).
 func (b *Controller) Lineage() *CostLineage { return b.lin }
 

@@ -98,16 +98,25 @@ type Controller interface {
 }
 
 // Executor is one simulated executor: one virtual clock per core plus
-// its block stores. Tasks for partition p always run on executor p mod E,
-// which models Spark's locality-aware scheduling (cached blocks are
-// local); within an executor, tasks are placed on the least-loaded core.
+// its block stores. Tasks for partition p run on the partition's home
+// executor — initially p mod E, which models Spark's locality-aware
+// scheduling (cached blocks are local) — until an executor death
+// migrates the assignment to a survivor; within an executor, tasks are
+// placed on the least-loaded core.
 type Executor struct {
 	ID    int
 	cores []costmodel.Clock
 	cur   int // core executing the current task
 	Mem   *storage.MemoryStore
 	Disk  *storage.DiskStore
+	// dead marks an executor killed by fault injection: its stores are
+	// unreachable, its clocks frozen, and no further tasks run on it.
+	dead bool
 }
+
+// Dead reports whether the executor was killed by an injected
+// executor-death fault.
+func (ex *Executor) Dead() bool { return ex.dead }
 
 // Clock returns the clock of the core running the current task; costs
 // incurred by the task (compute, I/O, migrations) advance it.
@@ -212,12 +221,21 @@ type Cluster struct {
 	// curJob is the index of the job currently running, for attributing
 	// recomputation time (Fig. 5).
 	curJob int
-	// faultLost marks blocks destroyed by injected faults; when such a
-	// block is recomputed, the cost is attributed as fault recovery.
-	faultLost map[storage.BlockID]bool
-	// faultLostShuffles marks shuffles cleaned by injected faults; their
-	// regeneration is attributed as fault recovery.
+	// assign maps partition slots (partition index mod E) to executor
+	// indices. It starts as the identity; executor deaths rebalance the
+	// dead executor's slots round-robin over the sorted survivors.
+	assign []int
+	// faultLost marks blocks destroyed by injected faults with the fault
+	// class that destroyed them; when such a block is recomputed, the
+	// cost is attributed as recovery for that class.
+	faultLost map[storage.BlockID]string
+	// faultLostShuffles marks shuffles cleaned whole by injected faults;
+	// their regeneration is attributed as fault recovery.
 	faultLostShuffles map[int]bool
+	// faultLostMaps marks individual map outputs invalidated by injected
+	// faults (bucket loss, executor death), per shuffle, with the fault
+	// class; re-running exactly those map tasks is the recovery.
+	faultLostMaps map[int]map[int]string
 }
 
 // NewCluster creates a cluster bound to the context and installs itself
@@ -243,8 +261,13 @@ func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
 		ctl:               cfg.Controller,
 		log:               cfg.EventLog,
 		computedOnce:      make(map[storage.BlockID]bool),
-		faultLost:         make(map[storage.BlockID]bool),
+		assign:            make([]int, cfg.Executors),
+		faultLost:         make(map[storage.BlockID]string),
 		faultLostShuffles: make(map[int]bool),
+		faultLostMaps:     make(map[int]map[int]string),
+	}
+	for i := range c.assign {
+		c.assign[i] = i
 	}
 	cores := cfg.CoresPerExecutor
 	if cores <= 0 {
@@ -266,11 +289,27 @@ func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
 // Context returns the driver context.
 func (c *Cluster) Context() *dataflow.Context { return c.ctx }
 
-// Executors returns the executors.
+// Executors returns all executors, dead ones included (their stats and
+// stores remain addressable by index).
 func (c *Cluster) Executors() []*Executor { return c.execs }
 
-// ExecutorFor returns the home executor of a partition.
-func (c *Cluster) ExecutorFor(part int) *Executor { return c.execs[part%len(c.execs)] }
+// LiveExecutors returns the executors still alive, in id order.
+func (c *Cluster) LiveExecutors() []*Executor {
+	out := make([]*Executor, 0, len(c.execs))
+	for _, ex := range c.execs {
+		if !ex.dead {
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+// ExecutorFor returns the home executor of a partition: its slot's
+// current assignee, which deaths may have migrated away from the initial
+// p mod E executor. The returned executor is always alive.
+func (c *Cluster) ExecutorFor(part int) *Executor {
+	return c.execs[c.assign[part%len(c.execs)]]
+}
 
 // Params returns the cost model parameters.
 func (c *Cluster) Params() costmodel.Params { return c.cfg.Params }
@@ -312,6 +351,9 @@ func (c *Cluster) Now() time.Duration {
 func (c *Cluster) Finish() *metrics.App {
 	end := c.Now()
 	for _, ex := range c.execs {
+		if ex.dead {
+			continue // clocks froze at death
+		}
 		ex.SyncTo(end)
 	}
 	c.met.ACT = end + c.met.ProfilingTime
@@ -358,6 +400,10 @@ func (c *Cluster) Release(d *dataflow.Dataset) {
 		for _, dep := range ds.Deps() {
 			if dep.Shuffle && dep.Parent == d {
 				c.shuffle.Clean(dep.ShuffleID)
+				// The deliberate clean supersedes any pending partial
+				// fault marks: a later re-run is a full regeneration,
+				// not recovery of the individual lost map outputs.
+				delete(c.faultLostMaps, dep.ShuffleID)
 			}
 		}
 	}

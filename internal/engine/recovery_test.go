@@ -5,6 +5,7 @@ package engine
 // fault injection must be fully recoverable and correctly accounted.
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"blaze/internal/costmodel"
 	"blaze/internal/dataflow"
 	"blaze/internal/eventlog"
+	"blaze/internal/metrics"
 	"blaze/internal/storage"
 )
 
@@ -378,6 +380,196 @@ func TestExecutorCacheLossRecovers(t *testing.T) {
 	}
 	if m.TotalFaultRecovery() == 0 {
 		t.Fatal("lost cached blocks were recomputed but no fault recovery attributed")
+	}
+}
+
+// TestExecutorDeathMigratesPartitions kills one executor between jobs of
+// an iterative workload and asserts (1) results stay bit-identical to the
+// fault-free reference, (2) the dead executor's partition slots migrate
+// to survivors and no further tasks land on it, (3) its map outputs are
+// invalidated and the rebalancing + re-run work is attributed to the
+// exec-death class.
+func TestExecutorDeathMigratesPartitions(t *testing.T) {
+	refCtx := dataflow.NewContext()
+	dataflow.NewLocalRunner(refCtx)
+	want := iterativeWorkload(refCtx, 3, 6, 40, true)
+
+	ctx := dataflow.NewContext()
+	log := eventlog.New()
+	c, err := NewCluster(Config{
+		Executors:         3,
+		MemoryPerExecutor: 1 << 20,
+		Params:            costmodel.Default(),
+		Controller:        NewSparkMemDisk(),
+		EventLog:          log,
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := c.Executors()[1]
+	jobs := 0
+	inner := ctx.Runner()
+	ctx.SetRunner(runnerFunc{
+		run: func(target *dataflow.Dataset, action string) [][]dataflow.Record {
+			out := inner.RunJob(target, action)
+			jobs++
+			if jobs == 1 {
+				if !c.InjectExecutorDeath(victim) {
+					t.Fatal("death injection refused")
+				}
+			}
+			return out
+		},
+		inner: inner,
+	})
+
+	got := iterativeWorkload(ctx, 3, 6, 40, true)
+	if got != want {
+		t.Fatalf("result %v != reference %v under executor death", got, want)
+	}
+
+	if !victim.Dead() {
+		t.Fatal("victim not marked dead")
+	}
+	if live := c.LiveExecutors(); len(live) != 2 || live[0].ID != 0 || live[1].ID != 2 {
+		t.Fatalf("LiveExecutors = %v", live)
+	}
+	// Every partition slot resolves to a survivor; the victim's slot 1
+	// was rebalanced round-robin over the sorted survivors.
+	for p := 0; p < 6; p++ {
+		if ex := c.ExecutorFor(p); ex.Dead() {
+			t.Fatalf("partition %d still homed on the dead executor", p)
+		}
+	}
+	tasksOnVictim := c.Metrics().Executors[victim.ID].Tasks
+	frozen := victim.MaxClock()
+
+	m := c.Finish()
+	if m.ExecutorDeaths != 1 {
+		t.Fatalf("ExecutorDeaths = %d, want 1", m.ExecutorDeaths)
+	}
+	if m.MigratedPartitions != 1 {
+		t.Fatalf("MigratedPartitions = %d, want 1 (one slot of three)", m.MigratedPartitions)
+	}
+	if m.RebalanceTime <= 0 {
+		t.Fatal("no rebalance time charged")
+	}
+	if m.Executors[victim.ID].RebalanceTime != 0 {
+		t.Fatal("rebalance time charged to the dead executor")
+	}
+	if m.FaultMapOutputsLost == 0 || m.FaultShuffleBytesLost == 0 {
+		t.Fatalf("death lost no map outputs: maps=%d bytes=%d",
+			m.FaultMapOutputsLost, m.FaultShuffleBytesLost)
+	}
+	if m.FaultRecoveryByClass["exec-death"] <= 0 {
+		t.Fatalf("no exec-death recovery attributed: %v", m.FaultRecoveryByClass)
+	}
+	if got := c.Metrics().Executors[victim.ID].Tasks; got != tasksOnVictim {
+		t.Fatalf("dead executor ran more tasks: %d -> %d", tasksOnVictim, got)
+	}
+	if victim.MaxClock() != frozen {
+		t.Fatalf("dead executor clock advanced: %v -> %v", frozen, victim.MaxClock())
+	}
+
+	// A dead executor cannot die twice, and the last survivor is spared.
+	if c.InjectExecutorDeath(victim) {
+		t.Fatal("second death of the same executor accepted")
+	}
+	if !c.InjectExecutorDeath(c.Executors()[0]) {
+		t.Fatal("death of executor 0 refused")
+	}
+	if c.InjectExecutorDeath(c.Executors()[2]) {
+		t.Fatal("killing the last live executor accepted")
+	}
+
+	var deadEvents, migEvents int
+	for _, e := range log.Events() {
+		switch e.Kind {
+		case eventlog.ExecutorDead:
+			deadEvents++
+		case eventlog.PartitionsMigrated:
+			migEvents++
+			if e.Count <= 0 {
+				t.Fatal("migration event without slot count")
+			}
+		}
+	}
+	if deadEvents != 2 || migEvents != 2 {
+		t.Fatalf("events: %d executor_dead, %d partitions_migrated; want 2, 2", deadEvents, migEvents)
+	}
+}
+
+// countTasksUnderLoss runs a two-job shuffle workload, injects the given
+// fault between the jobs, and returns the total tasks executed plus the
+// second job's results — the harness for comparing partial-bucket against
+// whole-shuffle recovery.
+func countTasksUnderLoss(t *testing.T, parts int, inject func(c *Cluster, shuffleID int)) (int, [][]dataflow.Record, *metrics.App) {
+	t.Helper()
+	ctx := dataflow.NewContext()
+	c, err := NewCluster(Config{
+		Executors:         2,
+		MemoryPerExecutor: 1 << 20,
+		Params:            costmodel.Default(),
+		Controller:        NewSparkMemOnly(),
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, dep := shuffledPair(t, ctx, "pb", parts)
+	inject(c, dep.ShuffleID)
+	got := red.Collect()
+	total := 0
+	for i := range c.Metrics().Executors {
+		total += c.Metrics().Executors[i].Tasks
+	}
+	return total, got, c.Finish()
+}
+
+// TestBucketLossRerunsFewerMapsThanShuffleLoss is the acceptance test for
+// partial shuffle recovery: with >1 reducer, losing one bucket must
+// re-run strictly fewer map tasks than losing the whole shuffle, while
+// both recover to identical results.
+func TestBucketLossRerunsFewerMapsThanShuffleLoss(t *testing.T) {
+	const parts = 4
+	none, want, _ := countTasksUnderLoss(t, parts, func(c *Cluster, sid int) {})
+
+	bucketTasks, gotB, mB := countTasksUnderLoss(t, parts, func(c *Cluster, sid int) {
+		if !c.InjectBucketLoss(sid, 2, 1) {
+			t.Fatal("bucket loss refused")
+		}
+	})
+	shuffleTasks, gotS, mS := countTasksUnderLoss(t, parts, func(c *Cluster, sid int) {
+		if !c.InjectShuffleLoss(sid) {
+			t.Fatal("shuffle loss refused")
+		}
+	})
+
+	if !reflect.DeepEqual(gotB, want) || !reflect.DeepEqual(gotS, want) {
+		t.Fatal("recovered results differ from fault-free reference")
+	}
+	// Bucket loss re-runs exactly the one producing map task on top of
+	// the fault-free schedule; whole-shuffle loss re-runs all maps.
+	if bucketTasks != none+1 {
+		t.Fatalf("bucket loss ran %d tasks, want %d (fault-free %d + 1 map)", bucketTasks, none+1, none)
+	}
+	if shuffleTasks != none+parts {
+		t.Fatalf("shuffle loss ran %d tasks, want %d", shuffleTasks, none+parts)
+	}
+	if bucketTasks >= shuffleTasks {
+		t.Fatalf("bucket loss must re-run strictly fewer tasks: %d vs %d", bucketTasks, shuffleTasks)
+	}
+	if mB.FaultBucketsLost != 1 || mB.FaultMapOutputsLost != 1 {
+		t.Fatalf("bucket metrics: buckets=%d maps=%d", mB.FaultBucketsLost, mB.FaultMapOutputsLost)
+	}
+	if mB.FaultRecoveryByClass["bucket"] <= 0 {
+		t.Fatalf("no bucket recovery attributed: %v", mB.FaultRecoveryByClass)
+	}
+	if mS.FaultRecoveryByClass["shuffle"] <= 0 {
+		t.Fatalf("no shuffle recovery attributed: %v", mS.FaultRecoveryByClass)
+	}
+	if mB.TotalFaultRecovery() >= mS.TotalFaultRecovery() {
+		t.Fatalf("partial recovery should cost less: %v vs %v",
+			mB.TotalFaultRecovery(), mS.TotalFaultRecovery())
 	}
 }
 

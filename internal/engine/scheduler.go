@@ -199,21 +199,41 @@ func (c *Cluster) RunJob(target *dataflow.Dataset, action string) [][]dataflow.R
 // applies the stage barrier. For result stages it returns the computed
 // partitions.
 func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
-	if !st.IsResult {
-		if c.shuffle.Complete(st.ShuffleDep.ShuffleID) {
+	// taskParts is the partition set this stage execution runs: every
+	// boundary partition for result stages; for map stages, exactly the
+	// map partitions whose shuffle outputs are missing. On a fresh
+	// shuffle that is all of them, but after a partial fault (bucket
+	// loss, executor death) only the invalidated producers re-run —
+	// Spark's fine-grained resubmission, versus regenerating the whole
+	// stage for a cleaned shuffle.
+	var taskParts []int
+	if st.IsResult {
+		taskParts = make([]int, st.Boundary.Partitions())
+		for p := range taskParts {
+			taskParts[p] = p
+		}
+	} else {
+		sid := st.ShuffleDep.ShuffleID
+		if c.shuffle.Complete(sid) {
 			st.Skipped = true
 			c.met.SkippedStages++
 			return nil
 		}
-		c.shuffle.Ensure(st.ShuffleDep.ShuffleID, st.NumBuckets)
+		c.shuffle.Ensure(sid, st.NumBuckets, st.Boundary.Partitions())
+		taskParts = c.shuffle.MissingMaps(sid)
 	}
 	// A stage recreating a shuffle an injected fault destroyed is
 	// recovery work, whether it runs nested (regeneration mid-task) or as
 	// a top-level stage the next job resubmitted; the core time the whole
-	// stage consumes is the recovery cost.
+	// stage consumes is the recovery cost. Partial losses are attributed
+	// the same way, priced over just the re-run map tasks.
 	faultRecovery := !st.IsResult && c.faultLostShuffles[st.ShuffleDep.ShuffleID]
+	var partialClasses map[int]string
+	if !st.IsResult && !faultRecovery {
+		partialClasses = c.faultLostMaps[st.ShuffleDep.ShuffleID]
+	}
 	var recoveryStart time.Duration
-	if faultRecovery {
+	if faultRecovery || len(partialClasses) > 0 {
 		recoveryStart = c.coreTimeSum()
 	}
 
@@ -223,7 +243,7 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 	}
 	c.emit(eventlog.Event{Kind: eventlog.StageStart, Time: c.Now(), Job: c.curJob,
 		Stage: st.ID, Dataset: st.Boundary.ID(), Regen: st.Regenerated})
-	for p := 0; p < st.Boundary.Partitions(); p++ {
+	for _, p := range taskParts {
 		ex := c.ExecutorFor(p)
 		ex.PickCore() // least-loaded core runs the task
 		out := c.runTask(ex, st, p)
@@ -238,8 +258,11 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 		delete(c.faultLostShuffles, st.ShuffleDep.ShuffleID)
 		cost := c.coreTimeSum() - recoveryStart
 		c.met.AddFaultRecovery(c.curJob, cost)
+		c.met.AddFaultRecoveryClass("shuffle", cost)
 		c.emit(eventlog.Event{Kind: eventlog.Recovered, Time: c.Now(), Job: c.curJob,
 			Stage: st.ID, Dataset: st.Boundary.ID(), Shuffle: st.ShuffleDep.ShuffleID, Cost: cost})
+	} else if len(partialClasses) > 0 {
+		c.attributePartialRecovery(st, partialClasses, c.coreTimeSum()-recoveryStart)
 	}
 	c.met.RanStages++
 	c.emit(eventlog.Event{Kind: eventlog.StageEnd, Time: c.Now(), Job: c.curJob,
@@ -259,10 +282,14 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 
 	// Stage barrier: executors synchronize; the slack each executor had
 	// is reported to the controller as prefetch budget (MRD hides
-	// prefetch I/O in this idle time).
+	// prefetch I/O in this idle time). Dead executors stay frozen and
+	// report zero slack, so prefetchers never schedule work onto them.
 	end := c.Now()
 	idle := make([]time.Duration, len(c.execs))
 	for i, ex := range c.execs {
+		if ex.dead {
+			continue
+		}
 		idle[i] = end - ex.MaxClock()
 		ex.SyncTo(end)
 	}
@@ -271,6 +298,40 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 		c.cfg.Hook.OnStageEnd(c, st)
 	}
 	return results
+}
+
+// attributePartialRecovery charges the core time a map stage spent
+// re-running fault-invalidated map outputs. The stage may mix fault
+// classes (a bucket loss and an executor death can invalidate outputs of
+// the same shuffle), so the measured cost is split across classes
+// proportionally to their invalidated-map counts, with the remainder on
+// the last class so the per-class total matches the per-job total.
+func (c *Cluster) attributePartialRecovery(st *Stage, classes map[int]string, cost time.Duration) {
+	sid := st.ShuffleDep.ShuffleID
+	perClass := map[string]int{}
+	total := 0
+	for _, class := range classes {
+		perClass[class]++
+		total++
+	}
+	names := make([]string, 0, len(perClass))
+	for class := range perClass {
+		names = append(names, class)
+	}
+	sort.Strings(names)
+	c.met.AddFaultRecovery(c.curJob, cost)
+	remaining := cost
+	for i, class := range names {
+		share := remaining
+		if i < len(names)-1 {
+			share = cost * time.Duration(perClass[class]) / time.Duration(total)
+		}
+		c.met.AddFaultRecoveryClass(class, share)
+		remaining -= share
+	}
+	delete(c.faultLostMaps, sid)
+	c.emit(eventlog.Event{Kind: eventlog.Recovered, Time: c.Now(), Job: c.curJob,
+		Stage: st.ID, Dataset: st.Boundary.ID(), Shuffle: sid, Cost: cost, Count: total})
 }
 
 // runTask materializes one partition of the stage boundary and, for map
@@ -297,6 +358,7 @@ func (c *Cluster) runTask(ex *Executor, st *Stage, part int) []dataflow.Record {
 			buckets[b] = append(buckets[b], r)
 		}
 	}
+	bucketBytes := make([]int64, st.NumBuckets)
 	var written int64
 	for b, brs := range buckets {
 		if len(brs) == 0 {
@@ -304,12 +366,14 @@ func (c *Cluster) runTask(ex *Executor, st *Stage, part int) []dataflow.Record {
 		}
 		if dep.Combine != nil {
 			brs = dataflow.MergeByKey(brs, dep.Combine)
+			buckets[b] = brs
 		}
 		size := storage.EstimateRecords(brs)
-		if err := c.shuffle.AddMapOutput(dep.ShuffleID, b, brs, size); err != nil {
-			panic(err) // stage was Ensure'd and not yet complete
-		}
+		bucketBytes[b] = size
 		written += size
+	}
+	if err := c.shuffle.SetMapOutput(dep.ShuffleID, part, ex.ID, buckets, bucketBytes); err != nil {
+		panic(err) // stage was Ensure'd and only missing maps re-run
 	}
 	// Shuffle write cost: serialization dominates (shuffle files land in
 	// the OS page cache); the device write is not charged, keeping the
@@ -398,11 +462,12 @@ func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []da
 		c.emit(eventlog.Event{Kind: eventlog.Recomputed, Time: ex.Clock().Now(), Job: c.curJob,
 			Executor: ex.ID, Dataset: ds.ID(), Partition: part, Cost: cost})
 	}
-	if c.faultLost[id] {
+	if class, ok := c.faultLost[id]; ok {
 		// The block was destroyed by an injected fault; this
 		// recomputation is its recovery.
 		delete(c.faultLost, id)
 		c.met.AddFaultRecovery(c.curJob, cost)
+		c.met.AddFaultRecoveryClass(class, cost)
 		c.emit(eventlog.Event{Kind: eventlog.Recovered, Time: ex.Clock().Now(), Job: c.curJob,
 			Executor: ex.ID, Dataset: ds.ID(), Partition: part, Cost: cost})
 	}

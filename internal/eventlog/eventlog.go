@@ -38,6 +38,18 @@ const (
 	// (internal/faults): Fault names the class, and the block/shuffle
 	// fields identify what was lost.
 	FaultInjected Kind = "fault_injected"
+	// ExecutorDead records an executor-death fault: the executor's cache
+	// (Bytes) and its map outputs (Count) are gone, and its partitions
+	// are about to migrate to the survivors.
+	ExecutorDead Kind = "executor_dead"
+	// PartitionsMigrated records the rebalancing that follows an
+	// executor death: Count partition slots moved from the dead executor
+	// to the survivors, at rebalancing cost Cost.
+	PartitionsMigrated Kind = "partitions_migrated"
+	// BucketLost records a partial shuffle fault: one map-output bucket
+	// (Shuffle, map Partition, Bucket) was destroyed, so only its
+	// producing map task must re-run.
+	BucketLost Kind = "bucket_lost"
 	// Recovered records the completion of fault recovery: the
 	// recomputation of a fault-lost block or the regeneration of a
 	// fault-cleaned shuffle, with the recovery work in Cost.
@@ -69,6 +81,12 @@ type Event struct {
 	Fault string `json:"fault,omitempty"`
 	// Shuffle identifies the shuffle on shuffle-loss fault events.
 	Shuffle int `json:"shuffle,omitempty"`
+	// Bucket identifies the reduce bucket on bucket-loss fault events.
+	Bucket int `json:"bucket,omitempty"`
+	// Count carries event cardinalities: migrated partition slots on
+	// PartitionsMigrated, lost map outputs on ExecutorDead, re-run map
+	// tasks on partial-shuffle Recovered events.
+	Count int `json:"count,omitempty"`
 }
 
 // Log is an in-memory, append-only event log.
@@ -130,11 +148,13 @@ type JobSummary struct {
 	// Regenerated counts stages re-run within the job to recover cleaned
 	// shuffle data; Faults and Recoveries count injected faults and
 	// completed fault recoveries, and RecoveryTime the attributed
-	// recovery work.
+	// recovery work. Migrated counts partition slots rebalanced away
+	// from executors that died during the job.
 	Regenerated  int
 	Faults       int
 	Recoveries   int
 	RecoveryTime time.Duration
+	Migrated     int
 }
 
 // DatasetSummary aggregates one dataset's cache lifecycle.
@@ -214,8 +234,10 @@ func Summarize(l *Log) *Summary {
 			if e.Regen {
 				job(cur).Regenerated++
 			}
-		case FaultInjected:
+		case FaultInjected, ExecutorDead, BucketLost:
 			job(cur).Faults++
+		case PartitionsMigrated:
+			job(cur).Migrated += e.Count
 		case Recovered:
 			j := job(cur)
 			j.Recoveries++

@@ -7,14 +7,19 @@
 // boundaries and, on a configurable period, destroys state the engine
 // must then recover through its three recovery paths — recomputation from
 // lineage, disk reload, and Spark-style stage resubmission on missing
-// shuffle files. Three fault classes are supported:
+// shuffle files. Five fault classes are supported:
 //
 //   - ExecutorCacheLoss: every cached block (memory and disk) of one
 //     executor vanishes, modeling an executor restart;
 //   - BlockLoss: a single cached block vanishes from both tiers,
 //     modeling corruption or eviction by the OS;
 //   - ShuffleLoss: a completed shuffle's outputs are cleaned
-//     mid-workload, forcing stage resubmission at the next fetch.
+//     mid-workload, forcing stage resubmission at the next fetch;
+//   - ExecutorDeath: one executor dies for good — cache and map outputs
+//     lost, partitions migrated to the sorted survivors round-robin;
+//   - BucketLoss: a single map-output bucket of a completed shuffle
+//     vanishes, so only its producing map task re-runs (fine-grained
+//     resubmission).
 //
 // All choices (when to fire, which class, which victim) derive from one
 // rand.Rand seeded by Config.Seed over deterministic enumerations of the
@@ -42,6 +47,12 @@ const (
 	BlockLoss
 	// ShuffleLoss cleans a completed shuffle's outputs.
 	ShuffleLoss
+	// ExecutorDeath kills one executor permanently: cache and map outputs
+	// are lost and its partitions migrate to the survivors.
+	ExecutorDeath
+	// BucketLoss destroys one map-output bucket of a completed shuffle,
+	// re-running only the producing map task.
+	BucketLoss
 )
 
 // String names the fault class.
@@ -53,13 +64,19 @@ func (c Class) String() string {
 		return "block"
 	case ShuffleLoss:
 		return "shuffle"
+	case ExecutorDeath:
+		return "exec-death"
+	case BucketLoss:
+		return "bucket"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
 }
 
 // AllClasses lists every fault class.
-func AllClasses() []Class { return []Class{ExecutorCacheLoss, BlockLoss, ShuffleLoss} }
+func AllClasses() []Class {
+	return []Class{ExecutorCacheLoss, BlockLoss, ShuffleLoss, ExecutorDeath, BucketLoss}
+}
 
 // ParseClasses parses a comma-separated class list ("exec,shuffle",
 // "block", or "all").
@@ -76,8 +93,12 @@ func ParseClasses(spec string) ([]Class, error) {
 			out = append(out, BlockLoss)
 		case "shuffle":
 			out = append(out, ShuffleLoss)
+		case "exec-death":
+			out = append(out, ExecutorDeath)
+		case "bucket":
+			out = append(out, BucketLoss)
 		default:
-			return nil, fmt.Errorf("faults: unknown fault class %q (want exec, block, shuffle or all)", strings.TrimSpace(f))
+			return nil, fmt.Errorf("faults: unknown fault class %q (want exec, block, shuffle, exec-death, bucket or all)", strings.TrimSpace(f))
 		}
 	}
 	return out, nil
@@ -172,7 +193,10 @@ func (in *Injector) tick(c *engine.Cluster) {
 func (in *Injector) inject(c *engine.Cluster, class Class) bool {
 	switch class {
 	case ExecutorCacheLoss:
-		exs := c.Executors()
+		exs := c.LiveExecutors()
+		if len(exs) == 0 {
+			return false
+		}
 		ex := exs[in.rng.Intn(len(exs))]
 		c.InjectExecutorCacheLoss(ex)
 		return true
@@ -182,7 +206,7 @@ func (in *Injector) inject(c *engine.Cluster, class Class) bool {
 			id storage.BlockID
 		}
 		var cands []cand
-		for _, ex := range c.Executors() {
+		for _, ex := range c.LiveExecutors() {
 			for _, m := range ex.Mem.Blocks() {
 				cands = append(cands, cand{ex, m.ID})
 			}
@@ -203,6 +227,27 @@ func (in *Injector) inject(c *engine.Cluster, class Class) bool {
 			return false
 		}
 		return c.InjectShuffleLoss(ids[in.rng.Intn(len(ids))])
+	case ExecutorDeath:
+		exs := c.LiveExecutors()
+		if len(exs) <= 1 {
+			return false // never kill the last executor
+		}
+		return c.InjectExecutorDeath(exs[in.rng.Intn(len(exs))])
+	case BucketLoss:
+		type bcand struct {
+			shuffle, mapPart, bucket int
+		}
+		var cands []bcand
+		for _, sid := range c.CompletedShuffles() {
+			for _, ref := range c.CompleteBucketRefs(sid) {
+				cands = append(cands, bcand{sid, ref.MapPart, ref.Bucket})
+			}
+		}
+		if len(cands) == 0 {
+			return false
+		}
+		pick := cands[in.rng.Intn(len(cands))]
+		return c.InjectBucketLoss(pick.shuffle, pick.mapPart, pick.bucket)
 	default:
 		return false
 	}

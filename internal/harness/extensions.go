@@ -57,16 +57,12 @@ func (h *Harness) Window() (*Matrix, error) {
 		Unit:    "seconds | solver nodes",
 		Cols:    []string{"ACT", "ILPNodes"},
 	}
-	for _, w := range []int{-1, 1, 2, 4} {
+	for _, w := range []int{0, 1, 2, 4} {
 		r, err := runBlazeWithWindow(h, w)
 		if err != nil {
 			return nil, err
 		}
-		label := fmt.Sprintf("window=%d", w)
-		if w == -1 {
-			label = "window=0"
-		}
-		m.Rows = append(m.Rows, label)
+		m.Rows = append(m.Rows, fmt.Sprintf("window=%d", w))
 		m.Data = append(m.Data, []float64{seconds(r.Metrics.ACT), float64(r.Metrics.ILPNodes)})
 	}
 	return m, nil
@@ -117,6 +113,6 @@ func runBlazeWithWindow(h *Harness, window int) (*blaze.Result, error) {
 		Executors:      h.Executors,
 		Scale:          h.Scale,
 		MemoryFraction: 0.35,
-		ILPWindow:      window,
+		ILPWindow:      blaze.ILPWindow(window),
 	})
 }

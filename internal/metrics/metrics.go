@@ -53,6 +53,9 @@ type ExecutorStats struct {
 	DiskPeakBytes int64
 	// Tasks counts tasks executed.
 	Tasks int
+	// RebalanceTime is the time this executor spent adopting partitions
+	// migrated from dead executors.
+	RebalanceTime time.Duration
 }
 
 // App aggregates one application run.
@@ -86,11 +89,33 @@ type App struct {
 	FaultBytesLost    int64
 	FaultShufflesLost int
 
+	// ExecutorDeaths counts executor-death faults; MigratedPartitions
+	// the partition slots rebalanced from dead executors to survivors;
+	// RebalanceTime the total virtual time survivors spent adopting them.
+	ExecutorDeaths     int
+	MigratedPartitions int
+	RebalanceTime      time.Duration
+
+	// FaultBucketsLost counts individually destroyed map-output buckets;
+	// FaultMapOutputsLost the whole map outputs invalidated (by bucket
+	// loss or executor death); FaultShuffleBytesLost the shuffle bytes
+	// those losses destroyed.
+	FaultBucketsLost      int
+	FaultMapOutputsLost   int
+	FaultShuffleBytesLost int64
+
 	// FaultRecoveryByJob attributes the recovery work caused by injected
 	// faults (recomputation of fault-lost blocks, regeneration of
-	// fault-cleaned shuffles) to the job that paid for it — the same
-	// per-job attribution Fig. 5 uses for ordinary cache-miss recovery.
+	// fault-cleaned shuffles, partition rebalancing) to the job that paid
+	// for it — the same per-job attribution Fig. 5 uses for ordinary
+	// cache-miss recovery.
 	FaultRecoveryByJob []time.Duration
+
+	// FaultRecoveryByClass attributes the same recovery work to the
+	// fault class that caused it ("exec", "block", "shuffle",
+	// "exec-death", "bucket"), so correlated per-machine loss can be
+	// priced separately from independent block loss.
+	FaultRecoveryByClass map[string]time.Duration
 
 	// ILPSolves and ILPNodes record optimizer activity for Blaze.
 	ILPSolves int
@@ -174,4 +199,12 @@ func (a *App) TotalFaultRecovery() time.Duration {
 		t += d
 	}
 	return t
+}
+
+// AddFaultRecoveryClass attributes fault-recovery time to a fault class.
+func (a *App) AddFaultRecoveryClass(class string, d time.Duration) {
+	if a.FaultRecoveryByClass == nil {
+		a.FaultRecoveryByClass = make(map[string]time.Duration)
+	}
+	a.FaultRecoveryByClass[class] += d
 }

@@ -6,6 +6,13 @@
 // are cleaned (Spark's ContextCleaner). A reduce task that finds its
 // shuffle cleaned triggers parent-stage regeneration in the engine, which
 // is how long recomputation lineages arise across iterations (Fig. 5).
+//
+// Outputs are tracked per map task, mirroring Spark's map-output files:
+// each map partition owns one set of reduce buckets, tagged with the
+// executor that produced it. That granularity is what enables partial
+// recovery — losing a single bucket (or every output of a dead executor)
+// invalidates only the producing map tasks, and the engine re-runs
+// exactly those instead of the whole map stage.
 package shuffle
 
 import (
@@ -15,10 +22,31 @@ import (
 	"blaze/internal/dataflow"
 )
 
-type output struct {
+// mapOutput is one map task's contribution: one record slice and byte
+// count per reduce bucket, tagged with the producing executor.
+type mapOutput struct {
 	buckets  [][]dataflow.Record
 	bytes    []int64
-	complete bool
+	executor int
+}
+
+type output struct {
+	numBuckets int
+	// maps is indexed by map partition; nil entries are missing (never
+	// written, or invalidated by a fault).
+	maps []*mapOutput
+	// sealed is set by MarkComplete once every map output is present and
+	// cleared again when any of them is invalidated.
+	sealed bool
+}
+
+func (o *output) allPresent() bool {
+	for _, m := range o.maps {
+		if m == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Service stores shuffle outputs keyed by shuffle id.
@@ -33,59 +61,181 @@ func NewService() *Service {
 	return &Service{outputs: make(map[int]*output)}
 }
 
-// Ensure prepares bucket storage for a shuffle with the given reduce-side
-// partition count. Calling it again with the same id is a no-op.
-func (s *Service) Ensure(shuffleID, buckets int) {
+// Ensure prepares storage for a shuffle with the given reduce-side bucket
+// count and map-side task count. Calling it again with the same id is a
+// no-op.
+func (s *Service) Ensure(shuffleID, buckets, maps int) {
 	if _, ok := s.outputs[shuffleID]; ok {
 		return
 	}
 	s.outputs[shuffleID] = &output{
-		buckets: make([][]dataflow.Record, buckets),
-		bytes:   make([]int64, buckets),
+		numBuckets: buckets,
+		maps:       make([]*mapOutput, maps),
 	}
 }
 
-// AddMapOutput appends one map task's records for one bucket.
-func (s *Service) AddMapOutput(shuffleID, bucket int, recs []dataflow.Record, bytes int64) error {
+// SetMapOutput stores one map task's complete bucket set, replacing
+// nothing: the map output must be currently missing (fresh or
+// invalidated), which is exactly the set of tasks the engine re-runs.
+func (s *Service) SetMapOutput(shuffleID, mapPart, executor int, buckets [][]dataflow.Record, bytes []int64) error {
 	o, ok := s.outputs[shuffleID]
 	if !ok {
 		return fmt.Errorf("shuffle: shuffle %d not prepared", shuffleID)
 	}
-	if o.complete {
+	if mapPart < 0 || mapPart >= len(o.maps) {
+		return fmt.Errorf("shuffle: shuffle %d has no map partition %d", shuffleID, mapPart)
+	}
+	if o.sealed {
 		return fmt.Errorf("shuffle: shuffle %d already complete", shuffleID)
 	}
-	o.buckets[bucket] = append(o.buckets[bucket], recs...)
-	o.bytes[bucket] += bytes
-	s.totalWritten += bytes
+	if o.maps[mapPart] != nil {
+		return fmt.Errorf("shuffle: shuffle %d map output %d already present", shuffleID, mapPart)
+	}
+	if len(buckets) != o.numBuckets || len(bytes) != o.numBuckets {
+		return fmt.Errorf("shuffle: shuffle %d expects %d buckets, got %d", shuffleID, o.numBuckets, len(buckets))
+	}
+	o.maps[mapPart] = &mapOutput{buckets: buckets, bytes: bytes, executor: executor}
+	for _, b := range bytes {
+		s.totalWritten += b
+	}
 	return nil
 }
 
-// MarkComplete seals the shuffle after its map stage finishes.
+// MarkComplete seals the shuffle after its map stage finishes. It is a
+// no-op while map outputs are still missing.
 func (s *Service) MarkComplete(shuffleID int) {
-	if o, ok := s.outputs[shuffleID]; ok {
-		o.complete = true
+	if o, ok := s.outputs[shuffleID]; ok && o.allPresent() {
+		o.sealed = true
 	}
 }
 
-// Complete reports whether the shuffle's outputs are available.
+// Complete reports whether the shuffle's outputs are all available.
 func (s *Service) Complete(shuffleID int) bool {
 	o, ok := s.outputs[shuffleID]
-	return ok && o.complete
+	return ok && o.sealed
 }
 
-// Fetch returns the records and byte size of one reduce bucket.
+// MissingMaps lists the map partitions whose outputs are absent, in
+// ascending order — the exact task set a (re-)run of the map stage must
+// execute. An unknown shuffle has no entry; Ensure it first.
+func (s *Service) MissingMaps(shuffleID int) []int {
+	o, ok := s.outputs[shuffleID]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for m, mo := range o.maps {
+		if mo == nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Fetch returns the records and byte size of one reduce bucket,
+// concatenating map outputs in map-partition order (the order the
+// original sequential task execution produced).
 func (s *Service) Fetch(shuffleID, bucket int) ([]dataflow.Record, int64, error) {
 	o, ok := s.outputs[shuffleID]
-	if !ok || !o.complete {
+	if !ok || !o.sealed {
 		return nil, 0, fmt.Errorf("shuffle: shuffle %d not complete", shuffleID)
 	}
-	return o.buckets[bucket], o.bytes[bucket], nil
+	var recs []dataflow.Record
+	var bytes int64
+	for _, mo := range o.maps {
+		recs = append(recs, mo.buckets[bucket]...)
+		bytes += mo.bytes[bucket]
+	}
+	return recs, bytes, nil
 }
 
-// Clean removes a shuffle's outputs; subsequent fetches force
-// regeneration.
+// Clean removes a shuffle's outputs entirely; subsequent fetches force
+// regeneration of every map task.
 func (s *Service) Clean(shuffleID int) {
 	delete(s.outputs, shuffleID)
+}
+
+// LostMapOutput identifies one invalidated map output and the bytes it
+// held across all buckets.
+type LostMapOutput struct {
+	Shuffle int
+	MapPart int
+	Bytes   int64
+}
+
+// LoseBucket invalidates a single map-output bucket (the analogue of one
+// lost shuffle file, shuffle_mapPart_bucket). The producing map task must
+// re-run — a re-run rewrites all of its buckets — so the whole map output
+// is marked missing; the returned bytes are the lost bucket's alone.
+func (s *Service) LoseBucket(shuffleID, mapPart, bucket int) (int64, bool) {
+	o, ok := s.outputs[shuffleID]
+	if !ok || mapPart < 0 || mapPart >= len(o.maps) || o.maps[mapPart] == nil {
+		return 0, false
+	}
+	if bucket < 0 || bucket >= o.numBuckets {
+		return 0, false
+	}
+	bytes := o.maps[mapPart].bytes[bucket]
+	o.maps[mapPart] = nil
+	o.sealed = false
+	return bytes, true
+}
+
+// LoseExecutorOutputs invalidates every map output the executor produced
+// — its map-output files die with it — and returns what was lost, in
+// (shuffle, map partition) ascending order.
+func (s *Service) LoseExecutorOutputs(executor int) []LostMapOutput {
+	ids := make([]int, 0, len(s.outputs))
+	for id := range s.outputs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var lost []LostMapOutput
+	for _, id := range ids {
+		o := s.outputs[id]
+		for m, mo := range o.maps {
+			if mo == nil || mo.executor != executor {
+				continue
+			}
+			var bytes int64
+			for _, b := range mo.bytes {
+				bytes += b
+			}
+			o.maps[m] = nil
+			o.sealed = false
+			lost = append(lost, LostMapOutput{Shuffle: id, MapPart: m, Bytes: bytes})
+		}
+	}
+	return lost
+}
+
+// BucketRef names one present map-output bucket.
+type BucketRef struct {
+	MapPart int
+	Bucket  int
+	Bytes   int64
+}
+
+// BucketRefs lists the present non-empty map-output buckets of a shuffle
+// in (map partition, bucket) ascending order — the candidate set for
+// bucket-loss injection.
+func (s *Service) BucketRefs(shuffleID int) []BucketRef {
+	o, ok := s.outputs[shuffleID]
+	if !ok {
+		return nil
+	}
+	var refs []BucketRef
+	for m, mo := range o.maps {
+		if mo == nil {
+			continue
+		}
+		for b, bytes := range mo.bytes {
+			if bytes > 0 {
+				refs = append(refs, BucketRef{MapPart: m, Bucket: b, Bytes: bytes})
+			}
+		}
+	}
+	return refs
 }
 
 // CompleteIDs lists the ids of all complete shuffles in ascending order,
@@ -93,7 +243,7 @@ func (s *Service) Clean(shuffleID int) {
 func (s *Service) CompleteIDs() []int {
 	var ids []int
 	for id, o := range s.outputs {
-		if o.complete {
+		if o.sealed {
 			ids = append(ids, id)
 		}
 	}

@@ -1,6 +1,7 @@
 package shuffle
 
 import (
+	"reflect"
 	"testing"
 
 	"blaze/internal/dataflow"
@@ -16,27 +17,35 @@ func recs(keys ...int64) []dataflow.Record {
 
 func TestWriteFetchLifecycle(t *testing.T) {
 	s := NewService()
-	s.Ensure(1, 2)
-	s.Ensure(1, 2) // idempotent
+	s.Ensure(1, 2, 2)
+	s.Ensure(1, 2, 2) // idempotent
 	if s.Complete(1) {
 		t.Fatal("shuffle should not be complete before MarkComplete")
 	}
-	if err := s.AddMapOutput(1, 0, recs(1, 2), 100); err != nil {
+	if got := s.MissingMaps(1); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("missing maps = %v, want [0 1]", got)
+	}
+	if err := s.SetMapOutput(1, 0, 0, [][]dataflow.Record{recs(1, 2), recs(4)}, []int64{100, 25}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AddMapOutput(1, 0, recs(3), 50); err != nil {
-		t.Fatal(err)
+	s.MarkComplete(1) // no-op: map 1 still missing
+	if s.Complete(1) {
+		t.Fatal("shuffle must not seal while map outputs are missing")
 	}
-	if err := s.AddMapOutput(1, 1, recs(4), 25); err != nil {
+	if err := s.SetMapOutput(1, 1, 1, [][]dataflow.Record{recs(3), nil}, []int64{50, 0}); err != nil {
 		t.Fatal(err)
 	}
 	s.MarkComplete(1)
 	if !s.Complete(1) {
 		t.Fatal("shuffle should be complete")
 	}
+	// Bucket 0 concatenates map outputs in map-partition order.
 	got, bytes, err := s.Fetch(1, 0)
-	if err != nil || len(got) != 3 || bytes != 150 {
-		t.Fatalf("fetch bucket 0: %d recs, %d bytes, err=%v", len(got), bytes, err)
+	if err != nil || bytes != 150 {
+		t.Fatalf("fetch bucket 0: %d bytes, err=%v", bytes, err)
+	}
+	if want := recs(1, 2, 3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fetch bucket 0 = %v, want %v", got, want)
 	}
 	if s.TotalWritten() != 175 {
 		t.Fatalf("total written = %d, want 175", s.TotalWritten())
@@ -48,32 +57,43 @@ func TestFetchIncompleteErrors(t *testing.T) {
 	if _, _, err := s.Fetch(9, 0); err == nil {
 		t.Fatal("fetch of unknown shuffle should error")
 	}
-	s.Ensure(9, 1)
+	s.Ensure(9, 1, 1)
 	if _, _, err := s.Fetch(9, 0); err == nil {
 		t.Fatal("fetch before completion should error")
 	}
 }
 
-func TestAddAfterCompleteErrors(t *testing.T) {
+func TestSetMapOutputErrors(t *testing.T) {
 	s := NewService()
-	s.Ensure(2, 1)
-	s.MarkComplete(2)
-	if err := s.AddMapOutput(2, 0, recs(1), 10); err == nil {
-		t.Fatal("writes after completion should error")
-	}
-}
-
-func TestAddWithoutEnsureErrors(t *testing.T) {
-	s := NewService()
-	if err := s.AddMapOutput(5, 0, recs(1), 10); err == nil {
+	if err := s.SetMapOutput(5, 0, 0, [][]dataflow.Record{recs(1)}, []int64{10}); err == nil {
 		t.Fatal("write to unprepared shuffle should error")
+	}
+	s.Ensure(5, 1, 2)
+	if err := s.SetMapOutput(5, 7, 0, [][]dataflow.Record{recs(1)}, []int64{10}); err == nil {
+		t.Fatal("write to out-of-range map partition should error")
+	}
+	if err := s.SetMapOutput(5, 0, 0, [][]dataflow.Record{recs(1), recs(2)}, []int64{10, 20}); err == nil {
+		t.Fatal("write with wrong bucket count should error")
+	}
+	if err := s.SetMapOutput(5, 0, 0, [][]dataflow.Record{recs(1)}, []int64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMapOutput(5, 0, 0, [][]dataflow.Record{recs(1)}, []int64{10}); err == nil {
+		t.Fatal("duplicate map output should error")
+	}
+	if err := s.SetMapOutput(5, 1, 0, [][]dataflow.Record{recs(2)}, []int64{10}); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkComplete(5)
+	if err := s.SetMapOutput(5, 0, 0, [][]dataflow.Record{recs(3)}, []int64{10}); err == nil {
+		t.Fatal("writes after completion should error")
 	}
 }
 
 func TestCleanForcesRegeneration(t *testing.T) {
 	s := NewService()
-	s.Ensure(3, 1)
-	if err := s.AddMapOutput(3, 0, recs(1), 10); err != nil {
+	s.Ensure(3, 1, 1)
+	if err := s.SetMapOutput(3, 0, 0, [][]dataflow.Record{recs(1)}, []int64{10}); err != nil {
 		t.Fatal(err)
 	}
 	s.MarkComplete(3)
@@ -82,13 +102,136 @@ func TestCleanForcesRegeneration(t *testing.T) {
 		t.Fatal("cleaned shuffle must not be complete")
 	}
 	// Regeneration path: Ensure again and rewrite.
-	s.Ensure(3, 1)
-	if err := s.AddMapOutput(3, 0, recs(2), 20); err != nil {
+	s.Ensure(3, 1, 1)
+	if got := s.MissingMaps(3); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("missing maps after clean = %v, want [0]", got)
+	}
+	if err := s.SetMapOutput(3, 0, 0, [][]dataflow.Record{recs(2)}, []int64{20}); err != nil {
 		t.Fatal(err)
 	}
 	s.MarkComplete(3)
 	got, _, err := s.Fetch(3, 0)
 	if err != nil || len(got) != 1 || got[0].Key != 2 {
 		t.Fatalf("regenerated fetch = %v, %v", got, err)
+	}
+}
+
+// fill writes maps 0..maps-1 of a shuffle with buckets of 10 bytes each,
+// assigning map m to executor m%execs.
+func fill(t *testing.T, s *Service, id, buckets, maps, execs int) {
+	t.Helper()
+	s.Ensure(id, buckets, maps)
+	for m := 0; m < maps; m++ {
+		bs := make([][]dataflow.Record, buckets)
+		bytes := make([]int64, buckets)
+		for b := range bs {
+			bs[b] = recs(int64(m*buckets + b))
+			bytes[b] = 10
+		}
+		if err := s.SetMapOutput(id, m, m%execs, bs, bytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.MarkComplete(id)
+}
+
+func TestLoseBucketInvalidatesOnlyProducer(t *testing.T) {
+	s := NewService()
+	fill(t, s, 1, 3, 4, 2)
+	bytes, ok := s.LoseBucket(1, 2, 1)
+	if !ok || bytes != 10 {
+		t.Fatalf("LoseBucket = %d, %v; want 10, true", bytes, ok)
+	}
+	if s.Complete(1) {
+		t.Fatal("shuffle must unseal on bucket loss")
+	}
+	if got := s.MissingMaps(1); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("missing maps = %v, want [2] (only the producing map)", got)
+	}
+	// Unknown shuffle, out-of-range map/bucket, already-missing map.
+	if _, ok := s.LoseBucket(9, 0, 0); ok {
+		t.Fatal("losing a bucket of an unknown shuffle should fail")
+	}
+	if _, ok := s.LoseBucket(1, 9, 0); ok {
+		t.Fatal("losing an out-of-range map should fail")
+	}
+	if _, ok := s.LoseBucket(1, 0, 9); ok {
+		t.Fatal("losing an out-of-range bucket should fail")
+	}
+	if _, ok := s.LoseBucket(1, 2, 0); ok {
+		t.Fatal("losing a bucket of an already-missing map should fail")
+	}
+	// Rewriting the lost map reseals and restores fetches.
+	bs := make([][]dataflow.Record, 3)
+	bytes2 := make([]int64, 3)
+	for b := range bs {
+		bs[b] = recs(int64(100 + b))
+		bytes2[b] = 10
+	}
+	if err := s.SetMapOutput(1, 2, 0, bs, bytes2); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkComplete(1)
+	if !s.Complete(1) {
+		t.Fatal("shuffle should reseal after the lost map is rewritten")
+	}
+	if _, n, err := s.Fetch(1, 1); err != nil || n != 40 {
+		t.Fatalf("fetch after repair: %d bytes, err=%v", n, err)
+	}
+}
+
+func TestLoseExecutorOutputs(t *testing.T) {
+	s := NewService()
+	fill(t, s, 1, 2, 4, 2) // maps 0,2 on executor 0; maps 1,3 on executor 1
+	fill(t, s, 2, 2, 2, 2) // map 0 on executor 0; map 1 on executor 1
+	lost := s.LoseExecutorOutputs(1)
+	want := []LostMapOutput{
+		{Shuffle: 1, MapPart: 1, Bytes: 20},
+		{Shuffle: 1, MapPart: 3, Bytes: 20},
+		{Shuffle: 2, MapPart: 1, Bytes: 20},
+	}
+	if !reflect.DeepEqual(lost, want) {
+		t.Fatalf("lost = %v, want %v", lost, want)
+	}
+	if s.Complete(1) || s.Complete(2) {
+		t.Fatal("both shuffles must unseal")
+	}
+	if got := s.MissingMaps(1); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("shuffle 1 missing = %v, want [1 3]", got)
+	}
+	if got := s.LoseExecutorOutputs(1); len(got) != 0 {
+		t.Fatalf("second loss of the same executor = %v, want none", got)
+	}
+	// Executor 0's outputs are untouched.
+	if got := s.LoseExecutorOutputs(0); len(got) != 3 {
+		t.Fatalf("executor 0 outputs = %v, want 3 entries", got)
+	}
+}
+
+func TestBucketRefsAndCompleteIDs(t *testing.T) {
+	s := NewService()
+	fill(t, s, 4, 2, 2, 1)
+	fill(t, s, 7, 1, 1, 1)
+	s.Ensure(9, 1, 1) // never completed
+	if got := s.CompleteIDs(); !reflect.DeepEqual(got, []int{4, 7}) {
+		t.Fatalf("complete ids = %v, want [4 7]", got)
+	}
+	refs := s.BucketRefs(4)
+	want := []BucketRef{
+		{MapPart: 0, Bucket: 0, Bytes: 10},
+		{MapPart: 0, Bucket: 1, Bytes: 10},
+		{MapPart: 1, Bucket: 0, Bytes: 10},
+		{MapPart: 1, Bucket: 1, Bytes: 10},
+	}
+	if !reflect.DeepEqual(refs, want) {
+		t.Fatalf("bucket refs = %v, want %v", refs, want)
+	}
+	if got := s.BucketRefs(99); got != nil {
+		t.Fatalf("bucket refs of unknown shuffle = %v, want nil", got)
+	}
+	// After losing a map, its buckets drop out of the candidate set.
+	s.LoseBucket(4, 0, 0)
+	if got := s.BucketRefs(4); len(got) != 2 {
+		t.Fatalf("bucket refs after loss = %v, want 2 entries", got)
 	}
 }
