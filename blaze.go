@@ -78,6 +78,12 @@ type RunConfig struct {
 	// paper's executors run 4). More cores overlap task latencies,
 	// including recomputation cascades.
 	Cores int
+	// Parallelism is the number of OS worker goroutines the engine may
+	// use to execute a stage's tasks concurrently. It changes only the
+	// wall-clock time of a run: the virtual-time metrics and the event
+	// log are bit-identical at every setting. 0 uses all available CPUs;
+	// 1 forces the sequential scheduler.
+	Parallelism int
 	// MemoryPerExecutor fixes the memory-store capacity; when zero it is
 	// calibrated as MemoryFraction × the workload's peak cached bytes
 	// per executor, mirroring §7.1's empirical capacity determination.
@@ -91,8 +97,16 @@ type RunConfig struct {
 	// ProfileScale is the sample fraction for Blaze's dependency
 	// extraction phase (default 0.02, the analogue of <1 MB samples).
 	ProfileScale float64
-	// Params overrides the cost model; nil uses EvalParams with the
-	// workload's serialization factor.
+	// CostParams overrides the cost model by value; the zero value uses
+	// EvalParams with the workload's serialization factor. Construct one
+	// with EvalParams or DefaultCostParams and modify fields as needed.
+	CostParams CostParams
+	// Params is the deprecated pointer form of CostParams.
+	//
+	// Deprecated: use CostParams. A shared *costmodel.Params lets one
+	// run's configuration leak into another when callers reuse the
+	// pointed-to value; the by-value field copies at Run time. When both
+	// are set, CostParams wins.
 	Params *costmodel.Params
 	// DiskCapacity, when positive, adds the optional per-executor disk
 	// capacity constraint to the Blaze ILP (Eq. 6 extension).
@@ -171,9 +185,14 @@ var (
 )
 
 // calibrateMemory measures the per-executor peak cached bytes of the
-// annotated workload under unconstrained memory.
-func calibrateMemory(spec WorkloadSpec, execs int, scale float64, params costmodel.Params) (int64, error) {
-	key := fmt.Sprintf("%s/%d/%g", spec.ID, execs, scale)
+// annotated workload under unconstrained memory. The cache key covers
+// every input that can change the measured peak — workload, cluster
+// shape (executors AND cores) and the full cost-model parameters — so
+// two runs differing only in, say, serialization factor or core count
+// cannot alias to the same calibration. Params.RecordCost is a map, but
+// fmt sorts map keys, so the fingerprint is deterministic.
+func calibrateMemory(spec WorkloadSpec, execs, cores int, scale float64, params costmodel.Params) (int64, error) {
+	key := fmt.Sprintf("%s/%d/%d/%g/%+v", spec.ID, execs, cores, scale, params)
 	calMu.Lock()
 	if v, ok := calCache[key]; ok {
 		calMu.Unlock()
@@ -184,6 +203,7 @@ func calibrateMemory(spec WorkloadSpec, execs int, scale float64, params costmod
 	ctx := dataflow.NewContext()
 	c, err := engine.NewCluster(engine.Config{
 		Executors:         execs,
+		CoresPerExecutor:  cores,
 		MemoryPerExecutor: 1 << 40,
 		Params:            params,
 		Controller:        engine.NewSparkMemDisk(),
@@ -219,10 +239,13 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Params != nil {
 		params = *cfg.Params
 	}
+	if !costParamsZero(cfg.CostParams) {
+		params = cfg.CostParams
+	}
 
 	mem := cfg.MemoryPerExecutor
 	if mem == 0 {
-		peak, err := calibrateMemory(spec, cfg.Executors, cfg.Scale, params)
+		peak, err := calibrateMemory(spec, cfg.Executors, cfg.Cores, cfg.Scale, params)
 		if err != nil {
 			return nil, err
 		}
@@ -252,6 +275,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	cluster, err := engine.NewCluster(engine.Config{
 		Executors:         cfg.Executors,
 		CoresPerExecutor:  cfg.Cores,
+		Parallelism:       cfg.Parallelism,
 		MemoryPerExecutor: mem,
 		Params:            params,
 		Controller:        sys.ctl,

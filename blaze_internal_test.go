@@ -86,6 +86,47 @@ func TestBuildSystemRecipes(t *testing.T) {
 	}
 }
 
+// TestCalibrationKeyCoversCoresAndParams is the regression test for the
+// calibration-cache key: it used to cover only (workload, executors,
+// scale), so a later run with a different core count or cost model
+// silently reused the first run's measured peak. Every distinguishing
+// input must produce its own cache entry.
+func TestCalibrationKeyCoversCoresAndParams(t *testing.T) {
+	spec, err := Workload(LR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := func() int {
+		calMu.Lock()
+		defer calMu.Unlock()
+		return len(calCache)
+	}
+	base := EvalParams(spec.SerFactor)
+	slower := base
+	slower.SerializeBps = base.SerializeBps / 2
+
+	before := entries()
+	if _, err := calibrateMemory(spec, 4, 2, 0.05, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calibrateMemory(spec, 4, 4, 0.05, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calibrateMemory(spec, 4, 2, 0.05, slower); err != nil {
+		t.Fatal(err)
+	}
+	if got := entries() - before; got != 3 {
+		t.Fatalf("3 distinct (cores, params) configurations produced %d cache entries; the key aliases them", got)
+	}
+	// Same configuration again must hit the cache, not add an entry.
+	if _, err := calibrateMemory(spec, 4, 2, 0.05, base); err != nil {
+		t.Fatal(err)
+	}
+	if got := entries() - before; got != 3 {
+		t.Fatalf("repeat calibration added an entry (now %d); key is unstable", got)
+	}
+}
+
 func TestILPWindowReachesController(t *testing.T) {
 	spec, err := Workload(LR)
 	if err != nil {

@@ -10,20 +10,117 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
-	"blaze/internal/harness"
+	"blaze"
+	"blaze/harness"
 )
+
+// parallelEntry is one row of the parallel speedup benchmark.
+type parallelEntry struct {
+	Workload   string  `json:"workload"`
+	System     string  `json:"system"`
+	SeqWallMs  float64 `json:"seq_wall_ms"`
+	ParWallMs  float64 `json:"par_wall_ms"`
+	Speedup    float64 `json:"speedup"`
+	ActMatched bool    `json:"act_matched"`
+}
+
+type parallelReport struct {
+	Cores       int             `json:"cores"`
+	Parallelism int             `json:"parallelism"`
+	Executors   int             `json:"executors"`
+	Scale       float64         `json:"scale"`
+	Entries     []parallelEntry `json:"entries"`
+	Note        string          `json:"note"`
+}
+
+// wallClock runs one workload/system at the given parallelism and
+// returns the best-of-n wall time plus the (virtual) ACT for the
+// identity cross-check.
+func wallClock(sys blaze.SystemID, wl blaze.WorkloadID, executors int, scale float64, par, n int) (time.Duration, time.Duration) {
+	best := time.Duration(1<<63 - 1)
+	var act time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		res, err := blaze.Run(blaze.RunConfig{
+			System:      sys,
+			Workload:    wl,
+			Executors:   executors,
+			Scale:       scale,
+			Parallelism: par,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+			os.Exit(1)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		act = res.ACT()
+	}
+	return best, act
+}
+
+// runParallelBench measures wall-clock speedup of multi-core stage
+// execution (Parallelism=NumCPU vs 1) and writes the report as JSON.
+// The virtual-time ACT must be identical at both settings — parallelism
+// only changes how fast the simulation itself runs.
+func runParallelBench(path string, executors int, scale float64) {
+	cores := runtime.NumCPU()
+	rep := parallelReport{
+		Cores:       cores,
+		Parallelism: cores,
+		Executors:   executors,
+		Scale:       scale,
+		Note:        "speedup threshold applies only when cores >= 4; single-core hosts record speedup ~1.0",
+	}
+	for _, wl := range []blaze.WorkloadID{blaze.PR, blaze.KMeans} {
+		sys := blaze.SysSparkMemDisk
+		seq, seqACT := wallClock(sys, wl, executors, scale, 1, 2)
+		par, parACT := wallClock(sys, wl, executors, scale, cores, 2)
+		rep.Entries = append(rep.Entries, parallelEntry{
+			Workload:   string(wl),
+			System:     string(sys),
+			SeqWallMs:  float64(seq.Microseconds()) / 1000,
+			ParWallMs:  float64(par.Microseconds()) / 1000,
+			Speedup:    float64(seq) / float64(par),
+			ActMatched: seqACT == parACT,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Entries {
+		fmt.Printf("%-10s %-14s seq %8.1fms  par %8.1fms  speedup %.2fx  act-match %v\n",
+			e.Workload, e.System, e.SeqWallMs, e.ParWallMs, e.Speedup, e.ActMatched)
+	}
+	fmt.Printf("(%d cores; report written to %s)\n", cores, path)
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,9,10,11,12,13,summary or 'all'")
 	executors := flag.Int("executors", 8, "number of simulated executors")
 	scale := flag.Float64("scale", 1.0, "input scale factor for every workload")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	parallel := flag.String("parallel", "", "run the multi-core speedup benchmark and write the JSON report to this path")
 	flag.Parse()
+
+	if *parallel != "" {
+		runParallelBench(*parallel, *executors, *scale)
+		return
+	}
 
 	h := harness.New()
 	h.Executors = *executors

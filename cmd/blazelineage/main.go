@@ -16,7 +16,6 @@ import (
 	"sort"
 
 	"blaze"
-	"blaze/internal/core"
 )
 
 func main() {
@@ -30,7 +29,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "blazelineage: %v\n", err)
 		os.Exit(1)
 	}
-	sk := core.Profile(core.Workload(spec.Plain), *sample)
+	sk := blaze.ProfileWorkload(spec, *sample)
 
 	if *dot {
 		emitDOT(sk)
@@ -79,7 +78,7 @@ func main() {
 
 	// Structural edges of the first full iteration (roles at iter 1).
 	fmt.Printf("\nlineage edges (iteration-1 instances):\n")
-	keys := make([]core.NodeKey, 0, len(sk.Nodes))
+	keys := make([]blaze.LineageNodeKey, 0, len(sk.Nodes))
 	for key := range sk.Nodes {
 		if key.Iter == 1 {
 			keys = append(keys, key)
@@ -101,7 +100,7 @@ func main() {
 // emitDOT renders the role-merged lineage (the Fig. 8 view) as DOT:
 // one node per role, one edge per distinct (parent role → child role)
 // dependency, shuffle edges dashed.
-func emitDOT(sk *core.Skeleton) {
+func emitDOT(sk *blaze.Skeleton) {
 	type edge struct {
 		from, to string
 		shuffle  bool

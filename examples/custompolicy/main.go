@@ -4,7 +4,10 @@
 //
 // The example implements a size-aware "largest-first" policy (evict the
 // biggest block first, a classic cache heuristic the paper's baselines
-// lack) and compares it with LRU on a word-count-style iterative job.
+// lack), registers it and a custom workload on the public facade, and
+// compares it with LRU on a word-count-style iterative job. Nothing
+// here imports blaze/internal: RegisterPolicy, RegisterWorkload and Run
+// are the whole integration surface.
 //
 //	go run ./examples/custompolicy
 package main
@@ -15,11 +18,7 @@ import (
 	"sort"
 	"time"
 
-	"blaze/internal/cachepolicy"
-	"blaze/internal/costmodel"
-	"blaze/internal/dataflow"
-	"blaze/internal/engine"
-	"blaze/internal/storage"
+	"blaze"
 )
 
 // largestFirst evicts the biggest resident block first, freeing the most
@@ -28,21 +27,26 @@ type largestFirst struct{}
 
 func (largestFirst) Name() string { return "largest-first" }
 
-func (largestFirst) Order(blocks []*storage.BlockMeta) []*storage.BlockMeta {
-	out := append([]*storage.BlockMeta(nil), blocks...)
+func (largestFirst) Order(blocks []*blaze.BlockMeta) []*blaze.BlockMeta {
+	out := append([]*blaze.BlockMeta(nil), blocks...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Size > out[j].Size })
 	return out
 }
 
 // workload builds a small iterative aggregation: repeatedly re-keys and
-// re-aggregates a skewed dataset, caching each round's result.
-func workload(ctx *dataflow.Context) {
+// re-aggregates a skewed dataset, caching each round's result. It has
+// the WorkloadSpec driver signature, so it registers directly.
+func workload(ctx *blaze.Context, scale float64) {
 	const parts = 8
-	data := ctx.Source("events@0", parts, func(part int) []dataflow.Record {
-		out := make([]dataflow.Record, 400)
+	n := int(400 * scale)
+	if n < 8 {
+		n = 8
+	}
+	data := ctx.Source("events@0", parts, func(part int) []blaze.Record {
+		out := make([]blaze.Record, n)
 		for i := range out {
-			key := int64(part*400 + i)
-			out[i] = dataflow.Record{Key: key % 97, Value: float64(1)}
+			key := int64(part*n + i)
+			out[i] = blaze.Record{Key: key % 97, Value: float64(1)}
 		}
 		return out
 	})
@@ -50,36 +54,48 @@ func workload(ctx *dataflow.Context) {
 	for it := 1; it <= 6; it++ {
 		counts = counts.ReduceByKey(fmt.Sprintf("counts@%d", it), parts, func(a, b any) any {
 			return a.(float64) + b.(float64)
-		}).Map(fmt.Sprintf("scaled@%d", it), func(r dataflow.Record) dataflow.Record {
-			return dataflow.Record{Key: r.Key % 31, Value: r.Value.(float64) * 1.01}
+		}).Map(fmt.Sprintf("scaled@%d", it), func(r blaze.Record) blaze.Record {
+			return blaze.Record{Key: r.Key % 31, Value: r.Value.(float64) * 1.01}
 		})
 		counts.Cache()
 		counts.Count()
 	}
 }
 
-func run(policy cachepolicy.Policy) time.Duration {
-	ctx := dataflow.NewContext()
-	cluster, err := engine.NewCluster(engine.Config{
+func run(system blaze.SystemID) time.Duration {
+	res, err := blaze.Run(blaze.RunConfig{
+		System:            system,
+		Workload:          "custom-agg",
 		Executors:         4,
 		MemoryPerExecutor: 8 * 1024,
-		Params:            costmodel.Default(),
-		Controller:        engine.NewAnnotation(policy.Name(), engine.MemDisk, policy, false),
-	}, ctx)
+		CostParams:        blaze.DefaultCostParams(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	workload(ctx)
-	return cluster.Finish().ACT
+	return res.ACT()
 }
 
 func main() {
-	lru := run(cachepolicy.LRU{})
-	custom := run(largestFirst{})
+	if err := blaze.RegisterPolicy("largest-first", func() blaze.EvictionPolicy { return largestFirst{} }); err != nil {
+		log.Fatal(err)
+	}
+	if err := blaze.RegisterWorkload(blaze.WorkloadSpec{
+		ID:        "custom-agg",
+		Title:     "IterativeAggregation",
+		SerFactor: 1.0,
+		Plain:     workload,
+		Annotated: workload, // the driver carries its own Cache() calls
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	lru := run(blaze.PolicySystem("lru"))
+	custom := run(blaze.PolicySystem("largest-first"))
 	fmt.Printf("LRU eviction:           ACT = %v\n", lru.Round(time.Microsecond))
 	fmt.Printf("largest-first eviction: ACT = %v\n", custom.Round(time.Microsecond))
-	fmt.Println("\nAny type implementing cachepolicy.Policy (an ordering over block")
-	fmt.Println("metadata) can drive the engine's eviction decisions via")
-	fmt.Println("engine.NewAnnotation; the Blaze controller replaces the policy with")
-	fmt.Println("its unified cost-based decision layer.")
+	fmt.Println("\nAny type implementing blaze.EvictionPolicy (an ordering over block")
+	fmt.Println("metadata) can drive the engine's eviction decisions once registered")
+	fmt.Println("with blaze.RegisterPolicy; the Blaze controller replaces the policy")
+	fmt.Println("with its unified cost-based decision layer.")
 }

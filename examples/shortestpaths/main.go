@@ -1,7 +1,10 @@
-// Shortest paths: write a NEW iterative algorithm on the Pregel
-// abstraction and run it under Blaze's automatic caching — the adoption
-// path for custom workloads. No cache() annotation appears anywhere;
-// Blaze discovers what to cache from the lineage it builds on the run.
+// Shortest paths: write a NEW iterative algorithm against the public
+// facade and run it under Blaze's automatic caching — the adoption path
+// for custom workloads. No cache() annotation appears anywhere; Blaze
+// discovers what to cache from the lineage it builds on the run. The
+// program imports only the blaze package: the dataflow surface
+// (Source/FlatMap/ReduceByKey/ZipDatasets), the workload registry and
+// Run are the whole integration.
 //
 //	go run ./examples/shortestpaths
 package main
@@ -12,12 +15,7 @@ import (
 	"math"
 	"time"
 
-	"blaze/internal/core"
-	"blaze/internal/costmodel"
-	"blaze/internal/dataflow"
-	"blaze/internal/datagen"
-	"blaze/internal/engine"
-	"blaze/internal/graphx"
+	"blaze"
 )
 
 // state carries each vertex's adjacency and current hop distance.
@@ -29,78 +27,134 @@ type state struct {
 // SizeBytes lets the cache see realistic, skewed partition sizes.
 func (s state) SizeBytes() int64 { return 48 + 8*int64(len(s.Adj)) }
 
-func sssp(ctx *dataflow.Context, spec datagen.GraphSpec, parts int, source int64) map[int64]float64 {
-	adj := ctx.Source("graph-adj@0", parts, func(part int) []dataflow.Record {
-		var out []dataflow.Record
-		for v := int64(0); v < int64(spec.Vertices); v++ {
-			if dataflow.HashPartition(v, parts) == part {
-				out = append(out, dataflow.Record{Key: v, Value: state{Adj: spec.Neighbors(v), Dist: math.Inf(1)}})
-			}
-		}
-		return out
-	})
-	vertices := adj.Map("graph@0", func(r dataflow.Record) dataflow.Record {
-		st := r.Value.(state)
-		if r.Key == source {
-			st.Dist = 0
-		}
-		return dataflow.Record{Key: r.Key, Value: st}
-	})
+const (
+	numVertices = 2000
+	avgDegree   = 4
+	parts       = 16
+	source      = int64(0)
+	maxIters    = 30
+)
 
-	final := graphx.Pregel(ctx, graphx.PregelConfig{Name: "sssp", Parts: parts, MaxIters: 30}, vertices,
-		func(vid int64, s any) []dataflow.Record {
-			st := s.(state)
-			if math.IsInf(st.Dist, 1) {
-				return nil
-			}
-			out := make([]dataflow.Record, len(st.Adj))
-			for i, dst := range st.Adj {
-				out[i] = dataflow.Record{Key: dst, Value: st.Dist + 1}
+// neighbors derives vertex v's adjacency deterministically: source
+// partitions must regenerate identically when recomputed.
+func neighbors(v, n int64) []int64 {
+	h := uint64(v)*2654435761 + 99
+	deg := 1 + int(h%(2*avgDegree-1)) // 1..2·avg-1, mean avgDegree
+	out := make([]int64, 0, deg)
+	for i := 0; i < deg; i++ {
+		h = h*6364136223846793005 + 1442695040888963407
+		out = append(out, int64(h%uint64(n)))
+	}
+	return out
+}
+
+// sssp is the workload driver: single-source shortest paths by
+// hop-count supersteps. Each superstep floods candidate distances along
+// edges, takes the per-vertex minimum, and merges it into the graph.
+// With unit weights a vertex's first assigned distance is final, so the
+// loop stops when the reached count stops growing. The final distances
+// are written into dists for cross-system verification.
+func sssp(dists *map[int64]float64) func(ctx *blaze.Context, scale float64) {
+	return func(ctx *blaze.Context, scale float64) {
+		n := int64(float64(numVertices) * scale)
+		if n < 64 {
+			n = 64
+		}
+		verts := ctx.Source("graph@0", parts, func(part int) []blaze.Record {
+			var out []blaze.Record
+			for v := int64(0); v < n; v++ {
+				if blaze.HashPartition(v, parts) == part {
+					d := math.Inf(1)
+					if v == source {
+						d = 0
+					}
+					out = append(out, blaze.Record{Key: v, Value: state{Adj: neighbors(v, n), Dist: d}})
+				}
 			}
 			return out
-		},
-		func(a, b any) any {
-			if a.(float64) < b.(float64) {
-				return a
-			}
-			return b
-		},
-		func(vid int64, s any, msg any, hasMsg bool) (any, bool) {
-			st := s.(state)
-			if hasMsg && msg.(float64) < st.Dist {
-				return state{Adj: st.Adj, Dist: msg.(float64)}, true
-			}
-			return st, false
 		})
 
-	dists := make(map[int64]float64, len(final))
-	for vid, s := range final {
-		dists[vid] = s.(state).Dist
+		reached := 1
+		for it := 1; it <= maxIters; it++ {
+			msgs := verts.FlatMap(fmt.Sprintf("msgs@%d", it), func(r blaze.Record) []blaze.Record {
+				st := r.Value.(state)
+				if math.IsInf(st.Dist, 1) {
+					return nil
+				}
+				out := make([]blaze.Record, len(st.Adj))
+				for i, dst := range st.Adj {
+					out[i] = blaze.Record{Key: dst, Value: st.Dist + 1}
+				}
+				return out
+			})
+			mins := msgs.ReduceByKey(fmt.Sprintf("mins@%d", it), parts, func(a, b any) any {
+				if a.(float64) < b.(float64) {
+					return a
+				}
+				return b
+			})
+			verts = blaze.ZipDatasets(fmt.Sprintf("graph@%d", it), blaze.OpMedium, verts, mins,
+				func(part int, vs, ms []blaze.Record) []blaze.Record {
+					best := make(map[int64]float64, len(ms))
+					for _, m := range ms {
+						best[m.Key] = m.Value.(float64)
+					}
+					out := make([]blaze.Record, len(vs))
+					for i, r := range vs {
+						st := r.Value.(state)
+						if d, ok := best[r.Key]; ok && d < st.Dist {
+							st = state{Adj: st.Adj, Dist: d}
+						}
+						out[i] = blaze.Record{Key: r.Key, Value: st}
+					}
+					return out
+				})
+			now := verts.Filter(fmt.Sprintf("reached@%d", it), func(r blaze.Record) bool {
+				return !math.IsInf(r.Value.(state).Dist, 1)
+			}).Count()
+			if now == reached {
+				break
+			}
+			reached = now
+		}
+
+		out := make(map[int64]float64, n)
+		for _, part := range verts.Collect() {
+			for _, r := range part {
+				out[r.Key] = r.Value.(state).Dist
+			}
+		}
+		*dists = out
 	}
-	return dists
 }
 
 func main() {
-	spec := datagen.GraphSpec{Seed: 99, Vertices: 2000, AvgDegree: 4}
-	const parts = 16
+	var dists map[int64]float64
+	if err := blaze.RegisterWorkload(blaze.WorkloadSpec{
+		ID:        "sssp",
+		Title:     "ShortestPaths",
+		SerFactor: 2.0,
+		Plain:     sssp(&dists),
+	}); err != nil {
+		log.Fatal(err)
+	}
 
-	run := func(ctl engine.Controller) (map[int64]float64, time.Duration) {
-		ctx := dataflow.NewContext()
-		cluster, err := engine.NewCluster(engine.Config{
+	run := func(sys blaze.SystemID) (map[int64]float64, time.Duration) {
+		res, err := blaze.Run(blaze.RunConfig{
+			System:            sys,
+			Workload:          "sssp",
 			Executors:         8,
 			MemoryPerExecutor: 24 * 1024, // tight: the graph does not fit
-			Params:            costmodel.Default(),
-			Controller:        ctl,
-		}, ctx)
+			CostParams:        blaze.DefaultCostParams(),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		dists := sssp(ctx, spec, parts, 0)
-		return dists, cluster.Finish().ACT
+		return dists, res.ACT()
 	}
 
-	blazeDists, blazeACT := run(core.NewBlaze())
-	sparkDists, sparkACT := run(engine.NewSparkMemOnly())
+	blazeDists, blazeACT := run(blaze.SysBlazeNoProfile)
+	sparkDists, sparkACT := run(blaze.SysSparkMem)
 
 	reached, maxDist := 0, 0.0
 	for _, d := range blazeDists {
@@ -118,9 +172,9 @@ func main() {
 		}
 	}
 
-	fmt.Printf("single-source shortest paths over %d vertices\n", spec.Vertices)
+	fmt.Printf("single-source shortest paths over %d vertices\n", numVertices)
 	fmt.Printf("  reachable vertices: %d, eccentricity: %.0f hops\n", reached, maxDist)
-	fmt.Printf("  Blaze (auto-caching):     ACT = %v\n", blazeACT.Round(time.Microsecond))
+	fmt.Printf("  Blaze (auto-caching):      ACT = %v\n", blazeACT.Round(time.Microsecond))
 	fmt.Printf("  Spark MEM_ONLY (no hints): ACT = %v\n", sparkACT.Round(time.Microsecond))
 	fmt.Println("\nThe algorithm carries no caching annotations; under MEM_ONLY Spark")
 	fmt.Println("nothing is cached at all, while Blaze auto-caches each superstep's")

@@ -12,7 +12,9 @@
 package cachepolicy
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 
 	"blaze/internal/storage"
 )
@@ -182,11 +184,51 @@ func ByName(name string) (Policy, bool) {
 	case "cost":
 		return CostAscending{}, true
 	default:
+		regMu.RLock()
+		f, ok := registry[name]
+		regMu.RUnlock()
+		if ok {
+			return f(), true
+		}
 		return nil, false
 	}
 }
 
-// Names lists every registered policy name.
+// registry holds user-registered policy factories, keyed by name. Each
+// lookup invokes the factory so stateful policies get a fresh instance
+// per run, like the built-in tinylfu/lecar.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Policy{}
+)
+
+// Register adds a user-defined policy factory under the given name,
+// making it resolvable through ByName (and hence runnable as a
+// "policy-<name>" system). Registering a name that collides with a
+// built-in or an earlier registration is an error.
+func Register(name string, factory func() Policy) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("cachepolicy: Register requires a name and a factory")
+	}
+	if _, builtin := ByName(name); builtin {
+		return fmt.Errorf("cachepolicy: policy %q already registered", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = factory
+	return nil
+}
+
+// Names lists every registered policy name, built-ins first, then
+// user-registered names in sorted order.
 func Names() []string {
-	return []string{"lru", "fifo", "lfu", "lfuda", "arc", "gdwheel", "tinylfu", "lecar", "lrc", "mrd", "cost"}
+	out := []string{"lru", "fifo", "lfu", "lfuda", "arc", "gdwheel", "tinylfu", "lecar", "lrc", "mrd", "cost"}
+	regMu.RLock()
+	extra := make([]string, 0, len(registry))
+	for name := range registry {
+		extra = append(extra, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(extra)
+	return append(out, extra...)
 }

@@ -37,7 +37,17 @@ type Controller struct {
 
 	c   *engine.Cluster
 	lin *CostLineage
-	est *Estimator
+
+	// est is the driver-context estimator, used by the ILP solver and by
+	// any decision made outside a task (job and stage boundaries). perEst
+	// holds one estimator per executor for task-path decisions: the
+	// estimator memoizes per decision round, and sharing one memo across
+	// concurrently admitting executors would race. Each instance reads
+	// only lineage observations and block states homed on its executor
+	// (the engine's parallel-eligibility gate guarantees this), so the
+	// per-executor estimates equal the sequential shared-instance ones.
+	est    *Estimator
+	perEst []*Estimator
 
 	// profiled records whether a dependency-extraction skeleton seeded
 	// the lineage (§7.5 compares with and without).
@@ -52,12 +62,15 @@ type Controller struct {
 	// blocks, consulted when deciding disk-read promotions.
 	targetState map[storage.BlockID]engine.Placement
 
-	// accessedThisStage marks blocks already consumed by the running
-	// stage; combined with the reference index this gives
-	// partition-granularity liveness: a block whose dataset has no
-	// references beyond the current stage and whose own partition has
-	// been read is dead, hence a free eviction victim.
-	accessedThisStage map[storage.BlockID]bool
+	// accessed marks blocks already consumed by the running stage, one
+	// map per executor (indexed by executor ID); combined with the
+	// reference index this gives partition-granularity liveness: a block
+	// whose dataset has no references beyond the current stage and whose
+	// own partition has been read is dead, hence a free eviction victim.
+	// A block is only ever read on its home executor, so splitting the
+	// map per executor changes nothing semantically while letting
+	// parallel workers record accesses without locking.
+	accessed []map[storage.BlockID]bool
 
 	// ilpDiskCapacity, when positive, adds the optional per-executor
 	// disk capacity constraint of Eq. 6 and solves the full ILP by
@@ -77,12 +90,11 @@ func New(name string, feat Features) *Controller {
 	lin := NewCostLineage()
 	lin.Extrapolate = true // on-the-run mode until a skeleton is applied
 	return &Controller{
-		name:              name,
-		feat:              feat,
-		lin:               lin,
-		targetState:       make(map[storage.BlockID]engine.Placement),
-		accessedThisStage: make(map[storage.BlockID]bool),
-		ilpWindow:         1,
+		name:        name,
+		feat:        feat,
+		lin:         lin,
+		targetState: make(map[storage.BlockID]engine.Placement),
+		ilpWindow:   1,
 	}
 }
 
@@ -148,13 +160,49 @@ func (b *Controller) Lineage() *CostLineage { return b.lin }
 // Name implements engine.Controller.
 func (b *Controller) Name() string { return b.name }
 
-// Bind implements engine.Controller.
+// Bind implements engine.Controller. The driver estimator and the
+// per-executor task-path estimators are all created here, up front:
+// lazily growing perEst on the task path would race once stages run on
+// parallel workers.
 func (b *Controller) Bind(c *engine.Cluster) {
 	b.c = c
-	b.est = NewEstimator(b.lin, c.Params(), b.feat.DiskEnabled, b.blockState)
-	b.est.ShuffleOK = c.ShuffleComplete
-	b.est.Executors = len(c.Executors())
-	b.est.AliveAt = b.aliveAt
+	b.est = b.newEstimator(c)
+	n := len(c.Executors())
+	b.perEst = make([]*Estimator, n)
+	b.accessed = make([]map[storage.BlockID]bool, n)
+	for i := 0; i < n; i++ {
+		b.perEst[i] = b.newEstimator(c)
+		b.accessed[i] = make(map[storage.BlockID]bool)
+	}
+}
+
+func (b *Controller) newEstimator(c *engine.Cluster) *Estimator {
+	e := NewEstimator(b.lin, c.Params(), b.feat.DiskEnabled, b.blockState)
+	e.ShuffleOK = c.ShuffleComplete
+	e.Executors = len(c.Executors())
+	e.AliveAt = b.aliveAt
+	return e
+}
+
+// estFor returns the executor's task-path estimator (the driver
+// estimator when no executor is in scope).
+func (b *Controller) estFor(ex *engine.Executor) *Estimator {
+	if ex != nil && ex.ID < len(b.perEst) {
+		return b.perEst[ex.ID]
+	}
+	return b.est
+}
+
+// ParallelCaps implements engine.ParallelCapable. The Blaze controller
+// keeps its shared state parallel-safe (per-executor estimators and
+// access maps, a locked CostLineage for task-path metric observation),
+// but its estimator walks lineage across shuffle edges, so the engine
+// must additionally reject stages where an incomplete shuffle edge with
+// differing partition counts is reachable (RemoteReads). Evictions may
+// drop blocks without a disk copy, so memory residency is not stable
+// mid-stage (SpillOnlyEvictions false).
+func (b *Controller) ParallelCaps() engine.ParallelCaps {
+	return engine.ParallelCaps{Safe: true, RemoteReads: true}
 }
 
 // aliveAt reports whether a node's partitions will still be retained at
@@ -243,7 +291,9 @@ func (b *Controller) OnStageEnd(st *engine.Stage, idle []time.Duration) {
 	if st.Job != nil {
 		b.curStageIdx = st.Index + 1
 	}
-	b.accessedThisStage = make(map[storage.BlockID]bool)
+	for i := range b.accessed {
+		b.accessed[i] = make(map[storage.BlockID]bool)
+	}
 	for _, ex := range b.c.Executors() {
 		for _, meta := range ex.Mem.Blocks() {
 			if b.futureRefs(meta.ID.Dataset) == 0 {
@@ -328,12 +378,13 @@ func (b *Controller) PlaceComputed(ex *engine.Executor, ds *dataflow.Dataset, pa
 	}
 	// Full Blaze without an ILP verdict for this partition: compare the
 	// new partition's cost against the cheapest residents it would evict.
+	est := b.estFor(ex)
 	if size <= ex.Mem.Free() {
-		return engine.PlaceMemory, b.offMemoryPlacement(ds.ID(), part)
+		return engine.PlaceMemory, b.offMemoryPlacement(est, ds.ID(), part)
 	}
 	n := b.lin.Node(ds.ID())
-	b.est.Reset()
-	newCost := b.est.RecoveryCostAt(n, part, b.horizonForAdmission(n, ds.ID()))
+	est.Reset()
+	newCost := est.RecoveryCostAt(n, part, b.horizonForAdmission(n, ds.ID()))
 	var victimCost time.Duration
 	var freed int64
 	for _, meta := range b.victimOrder(ex) {
@@ -344,9 +395,9 @@ func (b *Controller) PlaceComputed(ex *engine.Executor, ds *dataflow.Dataset, pa
 		freed += meta.Size
 	}
 	if freed >= size-ex.Mem.Free() && victimCost < newCost {
-		return engine.PlaceMemory, b.offMemoryPlacement(ds.ID(), part)
+		return engine.PlaceMemory, b.offMemoryPlacement(est, ds.ID(), part)
 	}
-	off := b.offMemoryPlacement(ds.ID(), part)
+	off := b.offMemoryPlacement(est, ds.ID(), part)
 	if debugPlace {
 		fmt.Fprintf(os.Stderr, "PLACE-OFF %s p%d -> %v (newCost=%v victimCost=%v freed=%d size=%d free=%d job=%d stage=%d)\n",
 			ds.Name(), part, off, newCost, victimCost, freed, size, ex.Mem.Free(), b.curJob, b.curStageIdx)
@@ -366,7 +417,7 @@ func (b *Controller) diskBudgetAllows(ex *engine.Executor, size int64) bool {
 // offMemoryPlacement chooses the partition's state when it cannot or
 // should not stay in memory: disk when the disk cost is the smaller
 // potential recovery cost, otherwise unpersisted (§4.2).
-func (b *Controller) offMemoryPlacement(datasetID, part int) engine.Placement {
+func (b *Controller) offMemoryPlacement(est *Estimator, datasetID, part int) engine.Placement {
 	if !b.feat.DiskEnabled {
 		return engine.PlaceNone
 	}
@@ -374,7 +425,7 @@ func (b *Controller) offMemoryPlacement(datasetID, part int) engine.Placement {
 		return engine.PlaceDisk
 	}
 	n := b.lin.Node(datasetID)
-	if n == nil || !b.est.PreferDiskAt(n, part, b.horizonForAdmission(n, datasetID)) {
+	if n == nil || !est.PreferDiskAt(n, part, b.horizonForAdmission(n, datasetID)) {
 		return engine.PlaceNone
 	}
 	if size, ok := b.lin.PartitionSize(n, part); ok {
@@ -392,14 +443,15 @@ func (b *Controller) victimOrder(ex *engine.Executor) []*storage.BlockMeta {
 	if !b.feat.CostAware {
 		return cachepolicy.LRU{}.Order(blocks)
 	}
-	b.est.Reset()
+	est := b.estFor(ex)
+	est.Reset()
 	for _, m := range blocks {
 		n := b.lin.Node(m.ID.Dataset)
 		if n == nil || b.futureRefs(m.ID.Dataset) == 0 {
 			m.Cost = 0 // no future benefit: free to evict
 			continue
 		}
-		if b.feat.ILP && b.strictFutureRefs(m.ID.Dataset) == 0 && b.accessedThisStage[m.ID] {
+		if b.feat.ILP && b.strictFutureRefs(m.ID.Dataset) == 0 && b.accessed[ex.ID][m.ID] {
 			// Partition-granularity liveness: this block's only remaining
 			// reference was the current stage, and its partition has been
 			// consumed — it is dead regardless of the dataset-level view.
@@ -409,9 +461,9 @@ func (b *Controller) victimOrder(ex *engine.Executor) []*storage.BlockMeta {
 		var c time.Duration
 		if b.feat.ILP {
 			// min(cost_d, cost_r) at the block's next recovery horizon
-			c = b.est.RecoveryCostAt(n, m.ID.Partition, b.horizonFor(n, m.ID.Dataset))
+			c = est.RecoveryCostAt(n, m.ID.Partition, b.horizonFor(n, m.ID.Dataset))
 		} else {
-			c = b.est.DiskCost(n, m.ID.Partition) // +CostAware: disk cost only
+			c = est.DiskCost(n, m.ID.Partition) // +CostAware: disk cost only
 		}
 		m.Cost = c.Seconds()
 	}
@@ -424,6 +476,7 @@ func (b *Controller) victimOrder(ex *engine.Executor) []*storage.BlockMeta {
 // drop.
 func (b *Controller) SelectVictims(ex *engine.Executor, need int64) []engine.Victim {
 	ordered := b.victimOrder(ex)
+	est := b.estFor(ex)
 	var out []engine.Victim
 	var freed int64
 	for _, m := range ordered {
@@ -434,7 +487,7 @@ func (b *Controller) SelectVictims(ex *engine.Executor, need int64) []engine.Vic
 		if b.feat.ILP && toDisk {
 			n := b.lin.Node(m.ID.Dataset)
 			toDisk = n != nil && m.Cost > 0 && b.futureRefs(m.ID.Dataset) > 0 &&
-				b.est.PreferDiskAt(n, m.ID.Partition, b.horizonFor(n, m.ID.Dataset)) &&
+				est.PreferDiskAt(n, m.ID.Partition, b.horizonFor(n, m.ID.Dataset)) &&
 				b.diskBudgetAllows(ex, m.Size)
 		}
 		out = append(out, engine.Victim{ID: m.ID, ToDisk: toDisk})
@@ -452,9 +505,11 @@ func (b *Controller) PromoteOnDiskRead(ex *engine.Executor, id storage.BlockID) 
 	return b.futureRefs(id.Dataset) > 0
 }
 
-// OnBlockAccess records per-partition consumption for liveness tracking.
+// OnBlockAccess records per-partition consumption for liveness tracking
+// on the accessing executor's own map (blocks are only read on their
+// home executor, so no other worker touches the same map).
 func (b *Controller) OnBlockAccess(ex *engine.Executor, id storage.BlockID) {
-	b.accessedThisStage[id] = true
+	b.accessed[ex.ID][id] = true
 }
 
 // OnBlockAdmitted implements engine.Controller.

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"blaze/internal/dataflow"
@@ -81,7 +82,24 @@ type roleMetrics struct {
 }
 
 // CostLineage tracks the merged workload lineage and partition metrics.
+//
+// Concurrency: structural registration (RegisterDataset, ObserveJob,
+// ApplySkeleton) happens only in driver context at job boundaries; every
+// dataset a stage can compute is an ancestor of the job target and is
+// registered at job start, so no structural insert occurs while tasks
+// run. Per-partition metric observation and lookup do run on the task
+// path, and ObservePartition inserts into the role regression maps on a
+// role's first observation, so those three methods serialize under
+// metricsMu (a leaf lock). Metric content is still deterministic under
+// parallel execution: each (node, partition) is observed and read only
+// by the partition's home executor, whose task order the parallel
+// scheduler preserves.
 type CostLineage struct {
+	// metricsMu guards roleMetrics and the per-node metric slices against
+	// concurrent task-path observation and lookup. Leaf lock: nothing else
+	// is acquired while it is held.
+	metricsMu sync.RWMutex
+
 	nodes map[NodeKey]*Node
 	byID  map[int]*Node
 
@@ -294,6 +312,8 @@ func (l *CostLineage) ObservePartition(datasetID, part int, size int64, cost tim
 	if n == nil || part >= n.Parts {
 		return
 	}
+	l.metricsMu.Lock()
+	defer l.metricsMu.Unlock()
 	n.sizes[part] = size
 	n.costs[part] = cost
 	n.observed[part] = true
@@ -318,6 +338,8 @@ func (l *CostLineage) PartitionSize(n *Node, part int) (int64, bool) {
 	if n == nil {
 		return 0, false
 	}
+	l.metricsMu.RLock()
+	defer l.metricsMu.RUnlock()
 	if part < len(n.observed) && n.observed[part] {
 		return n.sizes[part], true
 	}
@@ -337,6 +359,8 @@ func (l *CostLineage) PartitionCost(n *Node, part int) (time.Duration, bool) {
 	if n == nil {
 		return 0, false
 	}
+	l.metricsMu.RLock()
+	defer l.metricsMu.RUnlock()
 	if part < len(n.observed) && n.observed[part] {
 		return n.costs[part], true
 	}

@@ -98,26 +98,42 @@ func NewAnnotation(name string, level StorageLevel, policy cachepolicy.Policy, p
 // Name implements Controller.
 func (a *AnnotationController) Name() string { return a.name }
 
-// Bind implements Controller.
-func (a *AnnotationController) Bind(c *Cluster) { a.c = c }
+// Bind implements Controller. Per-executor policy clones are created
+// here, up front: policyFor is on the task path, and lazily growing the
+// map there would race once stages run on parallel workers.
+func (a *AnnotationController) Bind(c *Cluster) {
+	a.c = c
+	if cl, ok := a.policy.(cachepolicy.Cloner); ok {
+		a.perExec = make(map[int]cachepolicy.Policy, len(c.Executors()))
+		for _, ex := range c.Executors() {
+			a.perExec[ex.ID] = cl.Clone()
+		}
+	}
+}
+
+// ParallelCaps implements ParallelCapable. Annotation controllers keep
+// no shared task-path state: policy bookkeeping lives in per-block
+// metadata and per-executor policy clones, and the reference index
+// (refStages, curStage) is written only at job and stage boundaries.
+// The eviction disposition is fixed by the storage level, so MemDisk
+// controllers never drop a memory block without a disk copy.
+func (a *AnnotationController) ParallelCaps() ParallelCaps {
+	return ParallelCaps{
+		Safe:               true,
+		SpillOnlyEvictions: a.level == MemDisk,
+	}
+}
 
 // policyFor returns the executor's policy instance: a per-executor clone
 // for stateful policies implementing cachepolicy.Cloner, the shared
 // instance otherwise.
 func (a *AnnotationController) policyFor(ex *Executor) cachepolicy.Policy {
-	cl, ok := a.policy.(cachepolicy.Cloner)
-	if !ok {
-		return a.policy
+	if a.perExec != nil {
+		if p, ok := a.perExec[ex.ID]; ok {
+			return p
+		}
 	}
-	if a.perExec == nil {
-		a.perExec = make(map[int]cachepolicy.Policy)
-	}
-	p, ok := a.perExec[ex.ID]
-	if !ok {
-		p = cl.Clone()
-		a.perExec[ex.ID] = p
-	}
-	return p
+	return a.policy
 }
 
 // OnJobStart rebuilds the reference index from the submitted job's DAG —

@@ -14,6 +14,8 @@ package engine
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"blaze/internal/costmodel"
@@ -188,6 +190,48 @@ type Config struct {
 	// scheduling units, turning the recovery paths (recomputation, disk
 	// reload, stage resubmission) into first-class, testable scenarios.
 	Hook Hook
+	// Parallelism bounds the number of OS threads executing a stage's
+	// tasks concurrently. 0 defaults to runtime.GOMAXPROCS(0); 1 forces
+	// the fully sequential task loop. Any value produces bit-identical
+	// virtual-clock metrics and event logs: stages are dispatched to one
+	// worker goroutine per executor (preserving each executor's exact
+	// sequential task subsequence), and only stages proven free of
+	// cross-executor effects run in parallel — see parallelEligible.
+	Parallelism int
+}
+
+// ParallelCaps declares the properties of a Controller that the engine
+// needs to decide whether a stage's tasks may run on concurrent
+// per-executor workers without changing any virtual-time result.
+type ParallelCaps struct {
+	// Safe asserts the controller's task-path callbacks (OnBlockAccess,
+	// OnBlockAdmitted, OnBlockRemoved, OnComputed, PlaceComputed,
+	// SelectVictims, PromoteOnDiskRead) tolerate concurrent invocation
+	// from one worker goroutine per executor, and that their effects on
+	// any single executor depend only on that executor's own access
+	// stream. Controllers that do not implement ParallelCapable are
+	// treated as unsafe and always run sequentially.
+	Safe bool
+	// SpillOnlyEvictions asserts every victim the controller selects is
+	// spilled to disk (Victim.ToDisk == true), never dropped. The engine
+	// may then treat memory-resident blocks as stable lineage
+	// truncation points during a stage: a concurrent eviction can only
+	// move them to disk, not expose deeper recomputation paths.
+	SpillOnlyEvictions bool
+	// RemoteReads declares the controller's task-path callbacks may read
+	// state derived from other executors' partitions (Blaze's cost
+	// estimator walks lineage across shuffle edges whose parent and
+	// child partition counts differ, reaching partitions homed on other
+	// executors). Stages run sequentially while any incomplete shuffle
+	// edge with differing partition counts is reachable from estimable
+	// data, so such reads never happen concurrently with writes.
+	RemoteReads bool
+}
+
+// ParallelCapable is implemented by controllers that have audited their
+// callback paths for per-executor-parallel execution.
+type ParallelCapable interface {
+	ParallelCaps() ParallelCaps
 }
 
 // Hook observes scheduling boundaries of a cluster. Stage notifications
@@ -236,6 +280,37 @@ type Cluster struct {
 	// faults (bucket loss, executor death), per shuffle, with the fault
 	// class; re-running exactly those map tasks is the recovery.
 	faultLostMaps map[int]map[int]string
+
+	// par is the resolved Config.Parallelism (>= 1).
+	par int
+	// mu guards the cluster-wide bookkeeping maps (computedOnce,
+	// faultLost) while a stage's tasks run on parallel workers. Lock
+	// ordering: mu is a leaf lock, acquired after no other lock; the
+	// metrics and shuffle-service mutexes are likewise leaves, so no
+	// two of these locks are ever held together.
+	mu sync.Mutex
+	// curTrace routes task-context event emissions and disk-write
+	// notes into per-task buffers during parallel stage execution.
+	// curTrace[ex.ID] is non-nil exactly while ex's worker goroutine is
+	// inside a task; each slot is written only by its own worker (or by
+	// the driver outside parallel sections), so access is race-free by
+	// ownership.
+	curTrace []*taskTrace
+
+	// parallelStages counts stages dispatched to concurrent workers
+	// (driver-context bookkeeping, see ParallelStagesRan).
+	parallelStages int
+}
+
+// taskTrace buffers one task's externally ordered side effects during
+// parallel execution: its event-log emissions and its disk-footprint
+// deltas. After the stage joins, traces are replayed in ascending task
+// order — exactly the order the sequential loop would have produced —
+// so the event log and the cluster-wide disk peak are bit-identical to
+// a Parallelism=1 run.
+type taskTrace struct {
+	events     []eventlog.Event
+	diskDeltas []int64
 }
 
 // NewCluster creates a cluster bound to the context and installs itself
@@ -269,6 +344,14 @@ func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
 	for i := range c.assign {
 		c.assign[i] = i
 	}
+	c.par = cfg.Parallelism
+	if c.par == 0 {
+		c.par = runtime.GOMAXPROCS(0)
+	}
+	if c.par < 1 {
+		c.par = 1
+	}
+	c.curTrace = make([]*taskTrace, cfg.Executors)
 	cores := cfg.CoresPerExecutor
 	if cores <= 0 {
 		cores = 1
@@ -323,6 +406,7 @@ func (c *Cluster) Metrics() *metrics.App { return c.met }
 func (c *Cluster) ShuffleComplete(shuffleID int) bool { return c.shuffle.Complete(shuffleID) }
 
 // emit appends an event to the attached log, stamping the dataset name.
+// Driver-context events only; task-context emissions go through emitEx.
 func (c *Cluster) emit(e eventlog.Event) {
 	if c.log == nil {
 		return
@@ -333,6 +417,40 @@ func (c *Cluster) emit(e eventlog.Event) {
 		}
 	}
 	c.log.Append(e)
+}
+
+// emitEx records an event produced while executing on the executor.
+// During a parallel stage the event is buffered on the executor's
+// current task trace and flushed in task order at the stage join;
+// outside parallel sections it appends directly, like emit.
+func (c *Cluster) emitEx(ex *Executor, e eventlog.Event) {
+	tr := c.curTrace[ex.ID]
+	if tr == nil {
+		c.emit(e)
+		return
+	}
+	if c.log == nil {
+		return
+	}
+	if e.DatasetNm == "" {
+		if ds := c.ctx.Dataset(e.Dataset); ds != nil {
+			e.DatasetNm = ds.Name()
+		}
+	}
+	tr.events = append(tr.events, e)
+}
+
+// noteDiskWrite accounts a disk write of size bytes on the executor for
+// the cluster-wide peak-footprint statistic. During a parallel stage the
+// delta is buffered on the task trace and replayed in task order at the
+// stage join, reproducing the sequential sampling exactly; otherwise the
+// global footprint is sampled immediately.
+func (c *Cluster) noteDiskWrite(ex *Executor, size int64) {
+	if tr := c.curTrace[ex.ID]; tr != nil {
+		tr.diskDeltas = append(tr.diskDeltas, size)
+		return
+	}
+	c.noteDiskPeak()
 }
 
 // Now returns the current application time: the maximum executor clock.
@@ -458,9 +576,10 @@ func (c *Cluster) SpillBlock(ex *Executor, id storage.BlockID) bool {
 	if debugEvict {
 		fmt.Fprintf(os.Stderr, "SPILL ex=%d %v ds=%s size=%d job=%d\n", ex.ID, id, c.ctx.Dataset(id.Dataset).Name(), size, c.curJob)
 	}
-	c.emit(eventlog.Event{Kind: eventlog.BlockSpilled, Time: ex.Clock().Now(), Job: c.curJob,
+	c.emitEx(ex, eventlog.Event{Kind: eventlog.BlockSpilled, Time: ex.Clock().Now(), Job: c.curJob,
 		Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: size})
 	c.ctl.OnBlockRemoved(ex, id)
+	wrote := false
 	if !ex.Disk.Contains(id) {
 		if c.cfg.VerifyCodec {
 			c.verifyCodec(id, recs)
@@ -473,14 +592,14 @@ func (c *Cluster) SpillBlock(ex *Executor, id storage.BlockID) bool {
 			// Unreachable: Contains was checked above.
 			panic(err)
 		}
-		c.noteDiskPeak()
+		c.noteDiskWrite(ex, size)
 		// A to-disk eviction is only counted when bytes were actually
 		// written; a victim whose disk copy was retained from an earlier
 		// spill is an m→u drop of the memory copy, not a second m→d.
-		c.met.EvictionsToDisk++
+		wrote = true
 	}
 	c.met.Executors[ex.ID].EvictedBytes += size
-	c.met.Evictions++
+	c.met.IncEviction(wrote)
 	return true
 }
 
@@ -514,11 +633,11 @@ func (c *Cluster) dropFromMemory(ex *Executor, id storage.BlockID) bool {
 	if debugEvict {
 		fmt.Fprintf(os.Stderr, "DROP  ex=%d %v ds=%s size=%d job=%d\n", ex.ID, id, c.ctx.Dataset(id.Dataset).Name(), size, c.curJob)
 	}
-	c.emit(eventlog.Event{Kind: eventlog.BlockDropped, Time: ex.Clock().Now(), Job: c.curJob,
+	c.emitEx(ex, eventlog.Event{Kind: eventlog.BlockDropped, Time: ex.Clock().Now(), Job: c.curJob,
 		Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: size})
 	c.ctl.OnBlockRemoved(ex, id)
 	c.met.Executors[ex.ID].EvictedBytes += size
-	c.met.Evictions++
+	c.met.IncEviction(false)
 	return true
 }
 

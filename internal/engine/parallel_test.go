@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"blaze/internal/costmodel"
+	"blaze/internal/dataflow"
+	"blaze/internal/eventlog"
+)
+
+// runIterative executes the PageRank-shaped workload under one
+// controller at the given parallelism and returns the cluster.
+func runIterative(t *testing.T, ctl Controller, par int, log *eventlog.Log) *Cluster {
+	t.Helper()
+	ctx := dataflow.NewContext()
+	c, err := NewCluster(Config{
+		Executors:         4,
+		Parallelism:       par,
+		MemoryPerExecutor: 64 * 1024,
+		Params:            costmodel.Default(),
+		Controller:        ctl,
+		EventLog:          log,
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterativeWorkload(ctx, 6, 8, 40, true)
+	c.Finish()
+	return c
+}
+
+// TestParallelStagesActuallyRun guards the eligibility gate against
+// regressing into rejecting everything: a spill-only annotation system
+// on a uniform-partition iterative workload must dispatch stages to
+// concurrent workers.
+func TestParallelStagesActuallyRun(t *testing.T) {
+	c := runIterative(t, NewSparkMemDisk(), 8, nil)
+	if c.ParallelStagesRan() == 0 {
+		t.Fatalf("no stage ran on the parallel path; the eligibility gate rejected everything")
+	}
+}
+
+// TestParallelSequentialIdentityEngine checks bit-identical metrics and
+// event logs between Parallelism 1 and 8 at the engine level, for both
+// a spill-only and a drop-on-evict annotation controller.
+func TestParallelSequentialIdentityEngine(t *testing.T) {
+	build := []struct {
+		name string
+		ctl  func() Controller
+	}{
+		{"spark-memdisk", func() Controller { return NewSparkMemDisk() }},
+		{"spark-mem", func() Controller { return NewSparkMemOnly() }},
+		{"mrd", func() Controller { return NewMRD(MemDisk) }},
+	}
+	for _, b := range build {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			seqLog, parLog := eventlog.New(), eventlog.New()
+			seq := runIterative(t, b.ctl(), 1, seqLog)
+			par := runIterative(t, b.ctl(), 8, parLog)
+			if !reflect.DeepEqual(seq.Metrics(), par.Metrics()) {
+				t.Errorf("metrics differ:\nseq: %+v\npar: %+v", seq.Metrics(), par.Metrics())
+			}
+			if !reflect.DeepEqual(seqLog.Events(), parLog.Events()) {
+				t.Errorf("event logs differ (%d vs %d events)", seqLog.Len(), parLog.Len())
+			}
+		})
+	}
+}

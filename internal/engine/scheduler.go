@@ -243,12 +243,16 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 	}
 	c.emit(eventlog.Event{Kind: eventlog.StageStart, Time: c.Now(), Job: c.curJob,
 		Stage: st.ID, Dataset: st.Boundary.ID(), Regen: st.Regenerated})
-	for _, p := range taskParts {
-		ex := c.ExecutorFor(p)
-		ex.PickCore() // least-loaded core runs the task
-		out := c.runTask(ex, st, p)
-		if st.IsResult {
-			results[p] = out
+	if perExec, order := c.parallelPlan(st, taskParts); perExec != nil {
+		c.runStageParallel(st, taskParts, perExec, order, results)
+	} else {
+		for _, p := range taskParts {
+			ex := c.ExecutorFor(p)
+			ex.PickCore() // least-loaded core runs the task
+			out := c.runTask(ex, st, p)
+			if st.IsResult {
+				results[p] = out
+			}
 		}
 	}
 	if !st.IsResult {
@@ -340,7 +344,7 @@ func (c *Cluster) runTask(ex *Executor, st *Stage, part int) []dataflow.Record {
 	ex.Clock().Advance(c.cfg.Params.TaskOverhead)
 	c.met.Executors[ex.ID].Tasks++
 	recs := c.materialize(ex, st.Boundary, part)
-	c.emit(eventlog.Event{Kind: eventlog.TaskEnd, Time: ex.Clock().Now(), Job: c.curJob,
+	c.emitEx(ex, eventlog.Event{Kind: eventlog.TaskEnd, Time: ex.Clock().Now(), Job: c.curJob,
 		Stage: st.ID, Executor: ex.ID, Dataset: st.Boundary.ID(), Partition: part})
 	if st.IsResult {
 		return recs
@@ -402,9 +406,9 @@ func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []da
 			ex.Clock().Advance(cost)
 			stats.Breakdown.DiskIO += cost
 		}
-		c.met.CacheHits++
+		c.met.IncCacheHit()
 		c.ctl.OnBlockAccess(ex, id)
-		c.emit(eventlog.Event{Kind: eventlog.BlockHit, Time: ex.Clock().Now(), Job: c.curJob,
+		c.emitEx(ex, eventlog.Event{Kind: eventlog.BlockHit, Time: ex.Clock().Now(), Job: c.curJob,
 			Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: meta.Size})
 		return recs
 	}
@@ -414,9 +418,9 @@ func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []da
 		cost := params.DiskRead(size)
 		ex.Clock().Advance(cost)
 		stats.Breakdown.DiskIO += cost
-		c.met.DiskHits++
+		c.met.IncDiskHit()
 		c.ctl.OnBlockAccess(ex, id)
-		c.emit(eventlog.Event{Kind: eventlog.BlockDiskHit, Time: ex.Clock().Now(), Job: c.curJob,
+		c.emitEx(ex, eventlog.Event{Kind: eventlog.BlockDiskHit, Time: ex.Clock().Now(), Job: c.curJob,
 			Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: size, Cost: cost})
 		if c.ctl.PromoteOnDiskRead(ex, id) {
 			// The disk copy is retained (as Spark's DiskStore retains
@@ -428,7 +432,9 @@ func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []da
 	}
 
 	// 3. Recompute from parents.
+	c.mu.Lock()
 	wasComputed := c.computedOnce[id]
+	c.mu.Unlock()
 	ins := make([][]dataflow.Record, len(ds.Deps()))
 	totalIn := 0
 	var fetchCost time.Duration
@@ -457,21 +463,26 @@ func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []da
 	stats.Breakdown.Compute += cost
 	if wasComputed {
 		stats.Breakdown.Recompute += cost
-		c.met.Misses++
+		c.met.IncMiss()
 		c.met.AddRecompute(c.curJob, cost)
-		c.emit(eventlog.Event{Kind: eventlog.Recomputed, Time: ex.Clock().Now(), Job: c.curJob,
+		c.emitEx(ex, eventlog.Event{Kind: eventlog.Recomputed, Time: ex.Clock().Now(), Job: c.curJob,
 			Executor: ex.ID, Dataset: ds.ID(), Partition: part, Cost: cost})
 	}
-	if class, ok := c.faultLost[id]; ok {
-		// The block was destroyed by an injected fault; this
-		// recomputation is its recovery.
+	c.mu.Lock()
+	class, wasFaultLost := c.faultLost[id]
+	if wasFaultLost {
 		delete(c.faultLost, id)
-		c.met.AddFaultRecovery(c.curJob, cost)
-		c.met.AddFaultRecoveryClass(class, cost)
-		c.emit(eventlog.Event{Kind: eventlog.Recovered, Time: ex.Clock().Now(), Job: c.curJob,
-			Executor: ex.ID, Dataset: ds.ID(), Partition: part, Cost: cost})
 	}
 	c.computedOnce[id] = true
+	c.mu.Unlock()
+	if wasFaultLost {
+		// The block was destroyed by an injected fault; this
+		// recomputation is its recovery.
+		c.met.AddFaultRecovery(c.curJob, cost)
+		c.met.AddFaultRecoveryClass(class, cost)
+		c.emitEx(ex, eventlog.Event{Kind: eventlog.Recovered, Time: ex.Clock().Now(), Job: c.curJob,
+			Executor: ex.ID, Dataset: ds.ID(), Partition: part, Cost: cost})
+	}
 
 	// The reported production cost (cost_{k→i} on the CostLineage) is
 	// incremental: this partition's computation plus its own shuffle
@@ -508,7 +519,7 @@ func (c *Cluster) admitToMemory(ex *Executor, id storage.BlockID, recs []dataflo
 		return false
 	}
 	c.ctl.OnBlockAdmitted(ex, id)
-	c.emit(eventlog.Event{Kind: eventlog.BlockAdmitted, Time: ex.Clock().Now(), Job: c.curJob,
+	c.emitEx(ex, eventlog.Event{Kind: eventlog.BlockAdmitted, Time: ex.Clock().Now(), Job: c.curJob,
 		Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: size})
 	return true
 }
@@ -528,7 +539,7 @@ func (c *Cluster) writeToDisk(ex *Executor, id storage.BlockID, recs []dataflow.
 	if err := ex.Disk.Put(id, recs, size); err != nil {
 		panic(err) // Contains was checked above
 	}
-	c.noteDiskPeak()
+	c.noteDiskWrite(ex, size)
 }
 
 // fetchShuffle reads one reduce bucket, regenerating the parent stage if

@@ -6,7 +6,10 @@
 // footprints (§7.2).
 package metrics
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Breakdown splits accumulated task time by cause. Recompute is a subset
 // of Compute: the computation time spent re-deriving partitions that had
@@ -59,7 +62,20 @@ type ExecutorStats struct {
 }
 
 // App aggregates one application run.
+//
+// The exported fields are safe to read once the run has finished. While
+// tasks execute in parallel (engine.Config.Parallelism > 1), the shared
+// application-wide counters must be updated through the Inc*/Add*
+// methods, which serialize under an internal mutex; the per-executor
+// entries of Executors are owned by the executor's worker goroutine and
+// need no locking. All counted quantities are commutative sums, so the
+// totals are independent of task interleaving.
 type App struct {
+	// mu guards the application-wide counters during parallel stage
+	// execution. It is a leaf lock: no other lock is acquired while it
+	// is held.
+	mu sync.Mutex
+
 	Executors []ExecutorStats
 
 	// Evictions counts memory-store evictions under pressure
@@ -165,9 +181,44 @@ func (a *App) TotalEvictedBytes() int64 {
 	return n
 }
 
+// IncCacheHit counts one memory-store hit (task path, locked).
+func (a *App) IncCacheHit() {
+	a.mu.Lock()
+	a.CacheHits++
+	a.mu.Unlock()
+}
+
+// IncDiskHit counts one disk-store hit (task path, locked).
+func (a *App) IncDiskHit() {
+	a.mu.Lock()
+	a.DiskHits++
+	a.mu.Unlock()
+}
+
+// IncMiss counts one recomputation of a previously computed partition
+// (task path, locked).
+func (a *App) IncMiss() {
+	a.mu.Lock()
+	a.Misses++
+	a.mu.Unlock()
+}
+
+// IncEviction counts one memory-store eviction; toDisk marks the m→d
+// subset (task path, locked).
+func (a *App) IncEviction(toDisk bool) {
+	a.mu.Lock()
+	a.Evictions++
+	if toDisk {
+		a.EvictionsToDisk++
+	}
+	a.mu.Unlock()
+}
+
 // AddRecompute attributes recomputation time to a job index, growing the
 // per-job series as needed.
 func (a *App) AddRecompute(job int, d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for len(a.RecomputeByJob) <= job {
 		a.RecomputeByJob = append(a.RecomputeByJob, 0)
 	}
@@ -186,6 +237,8 @@ func (a *App) TotalRecompute() time.Duration {
 // AddFaultRecovery attributes fault-recovery time to a job index, growing
 // the per-job series as needed.
 func (a *App) AddFaultRecovery(job int, d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for len(a.FaultRecoveryByJob) <= job {
 		a.FaultRecoveryByJob = append(a.FaultRecoveryByJob, 0)
 	}
@@ -203,6 +256,8 @@ func (a *App) TotalFaultRecovery() time.Duration {
 
 // AddFaultRecoveryClass attributes fault-recovery time to a fault class.
 func (a *App) AddFaultRecoveryClass(class string, d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.FaultRecoveryByClass == nil {
 		a.FaultRecoveryByClass = make(map[string]time.Duration)
 	}

@@ -18,6 +18,7 @@ package shuffle
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"blaze/internal/dataflow"
 )
@@ -49,8 +50,15 @@ func (o *output) allPresent() bool {
 	return true
 }
 
-// Service stores shuffle outputs keyed by shuffle id.
+// Service stores shuffle outputs keyed by shuffle id. All methods are
+// safe for concurrent use: map tasks of a parallel stage write their
+// outputs (SetMapOutput) and reduce tasks fetch completed buckets
+// concurrently. Structural transitions — Ensure, MarkComplete, Clean and
+// the fault-loss operations — are only ever issued from the driver
+// between tasks, so a shuffle's completeness is stable while a stage's
+// tasks are in flight.
 type Service struct {
+	mu      sync.Mutex
 	outputs map[int]*output
 	// totalWritten accumulates bytes ever written, for reporting.
 	totalWritten int64
@@ -65,6 +73,8 @@ func NewService() *Service {
 // count and map-side task count. Calling it again with the same id is a
 // no-op.
 func (s *Service) Ensure(shuffleID, buckets, maps int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.outputs[shuffleID]; ok {
 		return
 	}
@@ -78,6 +88,8 @@ func (s *Service) Ensure(shuffleID, buckets, maps int) {
 // nothing: the map output must be currently missing (fresh or
 // invalidated), which is exactly the set of tasks the engine re-runs.
 func (s *Service) SetMapOutput(shuffleID, mapPart, executor int, buckets [][]dataflow.Record, bytes []int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.outputs[shuffleID]
 	if !ok {
 		return fmt.Errorf("shuffle: shuffle %d not prepared", shuffleID)
@@ -104,6 +116,8 @@ func (s *Service) SetMapOutput(shuffleID, mapPart, executor int, buckets [][]dat
 // MarkComplete seals the shuffle after its map stage finishes. It is a
 // no-op while map outputs are still missing.
 func (s *Service) MarkComplete(shuffleID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if o, ok := s.outputs[shuffleID]; ok && o.allPresent() {
 		o.sealed = true
 	}
@@ -111,6 +125,8 @@ func (s *Service) MarkComplete(shuffleID int) {
 
 // Complete reports whether the shuffle's outputs are all available.
 func (s *Service) Complete(shuffleID int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.outputs[shuffleID]
 	return ok && o.sealed
 }
@@ -119,6 +135,8 @@ func (s *Service) Complete(shuffleID int) bool {
 // ascending order — the exact task set a (re-)run of the map stage must
 // execute. An unknown shuffle has no entry; Ensure it first.
 func (s *Service) MissingMaps(shuffleID int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.outputs[shuffleID]
 	if !ok {
 		return nil
@@ -136,6 +154,8 @@ func (s *Service) MissingMaps(shuffleID int) []int {
 // concatenating map outputs in map-partition order (the order the
 // original sequential task execution produced).
 func (s *Service) Fetch(shuffleID, bucket int) ([]dataflow.Record, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.outputs[shuffleID]
 	if !ok || !o.sealed {
 		return nil, 0, fmt.Errorf("shuffle: shuffle %d not complete", shuffleID)
@@ -152,6 +172,8 @@ func (s *Service) Fetch(shuffleID, bucket int) ([]dataflow.Record, int64, error)
 // Clean removes a shuffle's outputs entirely; subsequent fetches force
 // regeneration of every map task.
 func (s *Service) Clean(shuffleID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.outputs, shuffleID)
 }
 
@@ -168,6 +190,8 @@ type LostMapOutput struct {
 // re-run — a re-run rewrites all of its buckets — so the whole map output
 // is marked missing; the returned bytes are the lost bucket's alone.
 func (s *Service) LoseBucket(shuffleID, mapPart, bucket int) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.outputs[shuffleID]
 	if !ok || mapPart < 0 || mapPart >= len(o.maps) || o.maps[mapPart] == nil {
 		return 0, false
@@ -185,6 +209,8 @@ func (s *Service) LoseBucket(shuffleID, mapPart, bucket int) (int64, bool) {
 // — its map-output files die with it — and returns what was lost, in
 // (shuffle, map partition) ascending order.
 func (s *Service) LoseExecutorOutputs(executor int) []LostMapOutput {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ids := make([]int, 0, len(s.outputs))
 	for id := range s.outputs {
 		ids = append(ids, id)
@@ -220,6 +246,8 @@ type BucketRef struct {
 // in (map partition, bucket) ascending order — the candidate set for
 // bucket-loss injection.
 func (s *Service) BucketRefs(shuffleID int) []BucketRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.outputs[shuffleID]
 	if !ok {
 		return nil
@@ -241,6 +269,8 @@ func (s *Service) BucketRefs(shuffleID int) []BucketRef {
 // CompleteIDs lists the ids of all complete shuffles in ascending order,
 // for deterministic enumeration by the fault injector.
 func (s *Service) CompleteIDs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var ids []int
 	for id, o := range s.outputs {
 		if o.sealed {
@@ -252,4 +282,8 @@ func (s *Service) CompleteIDs() []int {
 }
 
 // TotalWritten reports cumulative shuffle bytes written.
-func (s *Service) TotalWritten() int64 { return s.totalWritten }
+func (s *Service) TotalWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalWritten
+}

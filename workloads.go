@@ -2,6 +2,7 @@ package blaze
 
 import (
 	"fmt"
+	"sync"
 
 	"blaze/internal/dataflow"
 	"blaze/internal/datagen"
@@ -47,7 +48,35 @@ type WorkloadSpec struct {
 	Annotated func(ctx *dataflow.Context, scale float64)
 }
 
-// Workload returns the spec for an id.
+// workloadRegistry holds user-registered workload specs, resolvable by
+// Workload and hence runnable through Run like the built-in six.
+var (
+	wlMu             sync.RWMutex
+	workloadRegistry = map[WorkloadID]WorkloadSpec{}
+)
+
+// RegisterWorkload adds a user-defined workload spec under its ID,
+// making it runnable via Run with RunConfig.Workload set to that ID.
+// At least the Plain driver must be provided; a missing Annotated
+// driver falls back to Plain (a workload with no cache annotations).
+// Registering a built-in or duplicate ID is an error.
+func RegisterWorkload(spec WorkloadSpec) error {
+	if spec.ID == "" || spec.Plain == nil {
+		return fmt.Errorf("blaze: RegisterWorkload requires an ID and a Plain driver")
+	}
+	if _, err := Workload(spec.ID); err == nil {
+		return fmt.Errorf("blaze: workload %q already registered", spec.ID)
+	}
+	if spec.Annotated == nil {
+		spec.Annotated = spec.Plain
+	}
+	wlMu.Lock()
+	defer wlMu.Unlock()
+	workloadRegistry[spec.ID] = spec
+	return nil
+}
+
+// Workload returns the spec for an id, built-in or registered.
 func Workload(id WorkloadID) (WorkloadSpec, error) {
 	switch id {
 	case PR:
@@ -63,6 +92,12 @@ func Workload(id WorkloadID) (WorkloadSpec, error) {
 	case SVDPP:
 		return svdSpec(), nil
 	default:
+		wlMu.RLock()
+		spec, ok := workloadRegistry[id]
+		wlMu.RUnlock()
+		if ok {
+			return spec, nil
+		}
 		return WorkloadSpec{}, fmt.Errorf("blaze: unknown workload %q", id)
 	}
 }
