@@ -116,10 +116,16 @@ type RunConfig struct {
 	EventLog *EventLog
 	// Faults, when non-nil, attaches a deterministic, seed-driven fault
 	// injector that destroys cached blocks, shuffle outputs (whole or a
-	// single bucket) or entire executors at scheduling boundaries,
-	// exercising the recovery paths; fault counts and per-job recovery
-	// time land in the returned metrics.
+	// single bucket) or entire executors at scheduling boundaries, and
+	// fires transient task-granularity faults (task flakes, fetch
+	// flakes, stragglers), exercising the recovery and resilience paths;
+	// fault counts and per-job recovery time land in the returned
+	// metrics. The config is validated before the run starts.
 	Faults *FaultConfig
+	// Resilience tunes how the scheduler absorbs transient failures
+	// (task/fetch retries with backoff, speculative execution,
+	// blacklisting). The zero value selects the defaults.
+	Resilience Resilience
 	// ILPWindow overrides how many successor jobs Blaze's ILP objective
 	// covers. nil keeps the default of 1 (§5.5); ILPWindow(0) restricts
 	// the objective to the current job only; a negative value is ignored
@@ -269,6 +275,9 @@ func Run(cfg RunConfig) (*Result, error) {
 
 	var hook engine.Hook
 	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
 		hook = faults.New(*cfg.Faults)
 	}
 	ctx := dataflow.NewContext()
@@ -282,6 +291,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		AlluxioMode:       sys.alluxio,
 		EventLog:          cfg.EventLog,
 		Hook:              hook,
+		Resilience:        cfg.Resilience,
 	}, ctx)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,90 @@
+package blaze_test
+
+// Chaos soak: randomized mixed transient+permanent fault schedules with
+// randomized resilience knobs, swept across every registered caching
+// controller. Each schedule must terminate, produce the fault-free
+// reference answers, keep retries within budget, and yield bit-identical
+// metrics and event logs between Parallelism 1 and 8.
+//
+// Reproduce a nightly failure locally with the seed it logs:
+//
+//	BLAZE_CHAOS_SEED=<seed> BLAZE_CHAOS_N=<n> go test -race -run TestChaosSoak .
+
+import (
+	"os"
+	"sort"
+	"strconv"
+	"testing"
+
+	"blaze/internal/enginetest"
+)
+
+func chaosEnvInt64(name string, def int64) int64 {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func TestChaosSoak(t *testing.T) {
+	baseSeed := chaosEnvInt64("BLAZE_CHAOS_SEED", 1)
+	n := int(chaosEnvInt64("BLAZE_CHAOS_N", 50))
+	if testing.Short() {
+		n = 10
+	}
+
+	ctls := recoveryControllers()
+	names := make([]string, 0, len(ctls))
+	for name := range ctls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	refs := make(map[int64][]int64) // program seed -> fault-free reference
+	var faults, retries, spec int
+	for i := 0; i < n; i++ {
+		s := enginetest.NewChaosSchedule(baseSeed + int64(i))
+		name := names[i%len(names)]
+		mk := ctls[name]
+
+		ref, ok := refs[s.Program]
+		if !ok {
+			ref = enginetest.RefChecksums(s.Program)
+			refs[s.Program] = ref
+		}
+
+		got1, m1, l1, err := enginetest.ChaosRun(s, mk(), 1)
+		if err != nil {
+			t.Fatalf("chaos seed %d (%s, P1): %v", s.Seed, name, err)
+		}
+		if err := enginetest.CheckChaosInvariants(s, ref, got1, m1); err != nil {
+			t.Errorf("%s (P1): %v", name, err)
+			continue
+		}
+
+		got8, m8, l8, err := enginetest.ChaosRun(s, mk(), 8)
+		if err != nil {
+			t.Fatalf("chaos seed %d (%s, P8): %v", s.Seed, name, err)
+		}
+		if err := enginetest.CheckChaosInvariants(s, ref, got8, m8); err != nil {
+			t.Errorf("%s (P8): %v", name, err)
+			continue
+		}
+		if err := enginetest.CheckChaosIdentity(s, m1, m8, l1, l8); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		faults += m1.FaultsInjected
+		retries += m1.TaskRetries + m1.FetchRetries
+		spec += m1.SpeculativeLaunches
+	}
+	// The soak must actually exercise the resilience machinery, not pass
+	// vacuously on schedules that never fired.
+	if faults == 0 || retries == 0 {
+		t.Errorf("soak was vacuous: %d faults injected, %d retries across %d schedules", faults, retries, n)
+	}
+	if n >= 50 && spec == 0 {
+		t.Errorf("soak never launched a speculative copy across %d schedules", n)
+	}
+}

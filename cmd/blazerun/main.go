@@ -24,11 +24,15 @@ func main() {
 	frac := flag.Float64("frac", 0, "memory fraction of the calibrated peak (0 = workload default)")
 	scale := flag.Float64("scale", 1.0, "input scale factor")
 	events := flag.String("events", "", "write a JSON-lines event log to this path and print a per-job summary")
-	faultSpec := flag.String("faults", "", "inject faults: comma-separated classes (exec, block, shuffle, exec-death, bucket, all); empty = none")
+	faultSpec := flag.String("faults", "", "inject faults: comma-separated classes (exec, block, shuffle, exec-death, bucket, task-flake, fetch-flake, straggler, permanent, transient, all); empty = none")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 	faultEvery := flag.Int("fault-every", 1, "inject one fault per N boundaries")
 	faultStage := flag.Bool("fault-stage", false, "inject at stage boundaries instead of job boundaries")
-	faultMax := flag.Int("fault-max", 0, "cap on injected faults (0 = unlimited)")
+	faultMax := flag.Int("fault-max", 0, "cap on injected permanent faults (0 = unlimited; transient classes are exempt)")
+	taskEvery := flag.Int("task-every", 0, "fire one transient fault per N task/fetch attempts (0 = default 8)")
+	stragglerFactor := flag.Float64("straggler-factor", 0, "slowdown multiplier for injected stragglers (0 = default 4)")
+	stragglerWindow := flag.Int("straggler-window", 0, "tasks a straggler stays slow for (0 = default 3)")
+	resSpec := flag.String("resilience", "", "resilience knobs: retries=3,fetch-retries=2,backoff=2ms,spec=2,blacklist=3,cooldown=2")
 	flag.Parse()
 
 	var log *blaze.EventLog
@@ -43,12 +47,20 @@ func main() {
 			os.Exit(1)
 		}
 		fcfg = &blaze.FaultConfig{
-			Seed:       *faultSeed,
-			Classes:    classes,
-			Every:      *faultEvery,
-			AtStageEnd: *faultStage,
-			MaxFaults:  *faultMax,
+			Seed:            *faultSeed,
+			Classes:         classes,
+			Every:           *faultEvery,
+			AtStageEnd:      *faultStage,
+			MaxFaults:       *faultMax,
+			TaskEvery:       *taskEvery,
+			StragglerFactor: *stragglerFactor,
+			StragglerWindow: *stragglerWindow,
 		}
+	}
+	res, err := blaze.ParseResilience(*resSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazerun: %v\n", err)
+		os.Exit(1)
 	}
 	r, err := blaze.Run(blaze.RunConfig{
 		System:         blaze.SystemID(*system),
@@ -58,6 +70,7 @@ func main() {
 		Scale:          *scale,
 		EventLog:       log,
 		Faults:         fcfg,
+		Resilience:     res,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "blazerun: %v\n", err)
@@ -95,6 +108,19 @@ func main() {
 				fmt.Printf("  recovery[%s] %v\n", class, d.Round(time.Microsecond))
 			}
 		}
+	}
+	if m.TaskRetries+m.FetchRetries > 0 {
+		fmt.Printf("retries           task=%d fetch=%d backoff=%v\n",
+			m.TaskRetries, m.FetchRetries, m.RetryBackoffTime.Round(time.Microsecond))
+	}
+	if m.SpeculativeLaunches > 0 {
+		fmt.Printf("speculation       launched=%d won=%d\n", m.SpeculativeLaunches, m.SpeculativeWins)
+	}
+	if m.StragglerSlowdownTime > 0 {
+		fmt.Printf("stragglers        slowdown=%v\n", m.StragglerSlowdownTime.Round(time.Microsecond))
+	}
+	if m.BlacklistedExecutors > 0 {
+		fmt.Printf("blacklist         episodes=%d\n", m.BlacklistedExecutors)
 	}
 	if m.ILPSolves > 0 {
 		fmt.Printf("ILP               solves=%d nodes=%d\n", m.ILPSolves, m.ILPNodes)

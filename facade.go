@@ -7,8 +7,13 @@ package blaze
 // blaze.EventLog IS an eventlog.Log — no conversion, no drift.
 
 import (
+	"fmt"
 	"io"
+	"strconv"
+	"strings"
+	"time"
 
+	"blaze/internal/engine"
 	"blaze/internal/eventlog"
 	"blaze/internal/faults"
 )
@@ -52,11 +57,70 @@ const (
 	// FaultBucketLoss destroys one map-output bucket, re-running only
 	// the producing map task.
 	FaultBucketLoss = faults.BucketLoss
+	// FaultTaskFlake fails a single task attempt transiently; the
+	// scheduler retries exactly that attempt with exponential backoff.
+	FaultTaskFlake = faults.TaskFlake
+	// FaultFetchFlake fails a single shuffle-fetch attempt transiently
+	// without losing the bucket; the fetch is retried with backoff.
+	FaultFetchFlake = faults.FetchFlake
+	// FaultStraggler slows one executor by a configurable multiplier for
+	// a bounded window of tasks, triggering speculative execution when
+	// Resilience enables it.
+	FaultStraggler = faults.Straggler
 )
 
 // ParseFaultClasses parses a comma-separated class list
-// ("exec,shuffle", "exec-death", "bucket", or "all").
+// ("exec,shuffle", "task-flake,straggler", the groups
+// "permanent"/"transient", or "all"), deduplicated in first-seen order.
 func ParseFaultClasses(spec string) ([]FaultClass, error) { return faults.ParseClasses(spec) }
 
-// AllFaultClasses lists every fault class.
+// AllFaultClasses lists every fault class, permanent then transient.
 func AllFaultClasses() []FaultClass { return faults.AllClasses() }
+
+// Resilience configures the scheduler's transient-failure machinery —
+// bounded task/fetch retries with exponential backoff, speculative
+// execution of stragglers, and flaky-executor blacklisting — attached
+// via RunConfig.Resilience. The zero value selects the defaults
+// (3 task retries, 2 fetch retries, 2ms base backoff, speculation and
+// blacklisting off); see engine.Resilience for the field semantics.
+type Resilience = engine.Resilience
+
+// ParseResilience parses comma-separated resilience knobs of the form
+// "retries=3,fetch-retries=2,backoff=2ms,spec=2,blacklist=3,cooldown=2".
+// Unset keys keep their defaults; "retries=-1" / "fetch-retries=-1"
+// disable the respective retries.
+func ParseResilience(spec string) (Resilience, error) {
+	var r Resilience
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return r, fmt.Errorf("blaze: resilience knob %q is not key=value", f)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "retries":
+			r.MaxTaskRetries, err = strconv.Atoi(val)
+		case "fetch-retries":
+			r.MaxFetchRetries, err = strconv.Atoi(val)
+		case "backoff":
+			r.RetryBackoff, err = time.ParseDuration(val)
+		case "spec":
+			r.SpeculativeMultiple, err = strconv.ParseFloat(val, 64)
+		case "blacklist":
+			r.BlacklistAfter, err = strconv.Atoi(val)
+		case "cooldown":
+			r.BlacklistCooldown, err = strconv.Atoi(val)
+		default:
+			return r, fmt.Errorf("blaze: unknown resilience knob %q (want retries, fetch-retries, backoff, spec, blacklist or cooldown)", key)
+		}
+		if err != nil {
+			return r, fmt.Errorf("blaze: resilience knob %q: %v", f, err)
+		}
+	}
+	return r, nil
+}

@@ -114,11 +114,36 @@ type Executor struct {
 	// dead marks an executor killed by fault injection: its stores are
 	// unreachable, its clocks frozen, and no further tasks run on it.
 	dead bool
+
+	// slowFactor and slowTasks model a transient straggler window: while
+	// slowTasks > 0, every task execution on this executor is inflated to
+	// slowFactor times its intrinsic cost, decrementing the window. Both
+	// are written only from this executor's own task context (or the
+	// driver), so they need no locking under parallel stage execution.
+	slowFactor float64
+	slowTasks  int
+	// flakes counts retryable failures (task flakes, fetch flakes) since
+	// the last blacklist decision; written only from this executor's own
+	// task context, read by the driver at stage barriers.
+	flakes int
+	// blacklisted marks a flaky executor the scheduler skips for cooldown
+	// more top-level stages. Unlike death, the cache survives and the
+	// executor is reinstated when the cooldown expires.
+	blacklisted bool
+	cooldown    int
 }
 
 // Dead reports whether the executor was killed by an injected
 // executor-death fault.
 func (ex *Executor) Dead() bool { return ex.dead }
+
+// Blacklisted reports whether the executor is currently sitting out a
+// flaky-executor cooldown window.
+func (ex *Executor) Blacklisted() bool { return ex.blacklisted }
+
+// Straggling reports whether the executor is inside an injected
+// straggler window.
+func (ex *Executor) Straggling() bool { return ex.slowTasks > 0 }
 
 // Clock returns the clock of the core running the current task; costs
 // incurred by the task (compute, I/O, migrations) advance it.
@@ -148,6 +173,19 @@ func (ex *Executor) PickCore() *costmodel.Clock {
 		}
 	}
 	ex.cur = best
+	return &ex.cores[best]
+}
+
+// idleCore returns the clock of the least-loaded core without changing
+// which core runs the current task (unlike PickCore). Speculative task
+// copies advance this clock directly.
+func (ex *Executor) idleCore() *costmodel.Clock {
+	best := 0
+	for i := 1; i < len(ex.cores); i++ {
+		if ex.cores[i].Now() < ex.cores[best].Now() {
+			best = i
+		}
+	}
 	return &ex.cores[best]
 }
 
@@ -198,6 +236,72 @@ type Config struct {
 	// sequential task subsequence), and only stages proven free of
 	// cross-executor effects run in parallel — see parallelEligible.
 	Parallelism int
+	// Resilience configures the scheduler's transient-failure machinery
+	// (task retries, speculative execution, blacklisting). The zero value
+	// selects the documented defaults.
+	Resilience Resilience
+}
+
+// Resilience configures how the scheduler absorbs transient failures —
+// the counterpart of Spark's task retries, speculative execution and
+// executor blacklisting. All costs are charged to virtual time.
+type Resilience struct {
+	// MaxTaskRetries bounds how many failed attempts of one task are
+	// retried before the final attempt runs unconditionally (so a task
+	// runs at most MaxTaskRetries+1 attempts and always terminates).
+	// 0 selects the default of 3; negative disables retries entirely.
+	MaxTaskRetries int
+	// MaxFetchRetries bounds transient shuffle-fetch retries per fetch.
+	// 0 selects the default of 2; negative disables fetch retries.
+	MaxFetchRetries int
+	// RetryBackoff is the base backoff charged before the first retry;
+	// it doubles with every subsequent attempt (deterministic exponential
+	// backoff). 0 selects the default of 2ms.
+	RetryBackoff time.Duration
+	// SpeculativeMultiple enables speculative execution: once a
+	// straggling task's projected duration exceeds this multiple of its
+	// intrinsic (unslowed) cost, a copy launches on the fastest eligible
+	// executor; the first finisher wins and the loser's core time is
+	// accounted as waste. 0 (or <= 1) disables speculation. Stages that
+	// could speculate run on the sequential task loop at every
+	// Parallelism setting, keeping virtual-time results bit-identical.
+	SpeculativeMultiple float64
+	// BlacklistAfter blacklists an executor once it accumulates this many
+	// retryable failures (task or fetch flakes): the scheduler reroutes
+	// its tasks deterministically for BlacklistCooldown top-level stages,
+	// while its cache survives (blacklisted != dead). 0 disables
+	// blacklisting.
+	BlacklistAfter int
+	// BlacklistCooldown is the number of top-level stages a blacklisted
+	// executor sits out before reinstatement (default 2 when blacklisting
+	// is enabled).
+	BlacklistCooldown int
+}
+
+// normalized resolves the zero-value defaults and negative sentinels.
+func (r Resilience) normalized() Resilience {
+	switch {
+	case r.MaxTaskRetries == 0:
+		r.MaxTaskRetries = 3
+	case r.MaxTaskRetries < 0:
+		r.MaxTaskRetries = 0
+	}
+	switch {
+	case r.MaxFetchRetries == 0:
+		r.MaxFetchRetries = 2
+	case r.MaxFetchRetries < 0:
+		r.MaxFetchRetries = 0
+	}
+	if r.RetryBackoff <= 0 {
+		r.RetryBackoff = 2 * time.Millisecond
+	}
+	if r.SpeculativeMultiple <= 1 {
+		r.SpeculativeMultiple = 0
+	}
+	if r.BlacklistAfter > 0 && r.BlacklistCooldown <= 0 {
+		r.BlacklistCooldown = 2
+	}
+	return r
 }
 
 // ParallelCaps declares the properties of a Controller that the engine
@@ -247,6 +351,36 @@ type Hook interface {
 	OnJobEnd(c *Cluster, j *Job)
 }
 
+// TaskHook is an optional extension of Hook observing individual task
+// attempts and shuffle-fetch attempts — the granularity transient faults
+// live at. A Config.Hook that also implements TaskHook is consulted on
+// every attempt.
+//
+// Implementations must be safe for concurrent calls from per-executor
+// workers, and their verdicts must be pure functions of the arguments
+// (never of call order or shared mutable draws): the engine calls them
+// from both the sequential loop and parallel workers, and the
+// virtual-time results must stay bit-identical across Parallelism
+// settings. Mutations beyond the given executor's own state are limited
+// to InjectStraggler and internal (locked) counters.
+type TaskHook interface {
+	Hook
+	// OnTaskStart fires before attempt (1-based) of the task computing
+	// partition part of st.Boundary on ex. Returning true fails the
+	// attempt transiently: the scheduler charges the wasted launch
+	// overhead plus exponential backoff to virtual time and retries,
+	// bounded by Resilience.MaxTaskRetries — the verdict of the final
+	// attempt is ignored, so tasks always terminate.
+	OnTaskStart(c *Cluster, ex *Executor, st *Stage, part, attempt int) bool
+	// OnTaskEnd fires after the task's successful execution completes.
+	OnTaskEnd(c *Cluster, ex *Executor, st *Stage, part int)
+	// OnFetch fires before fetch attempt (1-based) of reduce bucket part
+	// of shuffleID on ex. Returning true fails the attempt transiently
+	// (the bucket itself is intact); the fetch is retried with backoff,
+	// bounded by Resilience.MaxFetchRetries.
+	OnFetch(c *Cluster, ex *Executor, shuffleID, part, attempt int) bool
+}
+
 // Cluster executes jobs for one dataflow context.
 type Cluster struct {
 	cfg     Config
@@ -283,6 +417,11 @@ type Cluster struct {
 
 	// par is the resolved Config.Parallelism (>= 1).
 	par int
+	// res is the resolved Config.Resilience (defaults applied).
+	res Resilience
+	// taskHook is Config.Hook downcast to TaskHook when it implements
+	// the task-granularity extension, nil otherwise.
+	taskHook TaskHook
 	// mu guards the cluster-wide bookkeeping maps (computedOnce,
 	// faultLost) while a stage's tasks run on parallel workers. Lock
 	// ordering: mu is a leaf lock, acquired after no other lock; the
@@ -351,6 +490,10 @@ func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
 	if c.par < 1 {
 		c.par = 1
 	}
+	c.res = cfg.Resilience.normalized()
+	if th, ok := cfg.Hook.(TaskHook); ok {
+		c.taskHook = th
+	}
 	c.curTrace = make([]*taskTrace, cfg.Executors)
 	cores := cfg.CoresPerExecutor
 	if cores <= 0 {
@@ -396,6 +539,36 @@ func (c *Cluster) ExecutorFor(part int) *Executor {
 
 // Params returns the cost model parameters.
 func (c *Cluster) Params() costmodel.Params { return c.cfg.Params }
+
+// Resilience returns the resolved resilience configuration.
+func (c *Cluster) Resilience() Resilience { return c.res }
+
+// CurrentJob returns the index of the job currently running. Task hooks
+// use it to key transient fault decisions.
+func (c *Cluster) CurrentJob() int { return c.curJob }
+
+// anyBlacklisted reports whether any executor is sitting out a
+// flaky-executor cooldown (driver-context read).
+func (c *Cluster) anyBlacklisted() bool {
+	for _, ex := range c.execs {
+		if ex.blacklisted {
+			return true
+		}
+	}
+	return false
+}
+
+// anyStraggling reports whether any executor is inside a straggler
+// window (driver-context read, used to gate parallel dispatch while
+// speculation is enabled).
+func (c *Cluster) anyStraggling() bool {
+	for _, ex := range c.execs {
+		if ex.slowTasks > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // Metrics returns the application metrics.
 func (c *Cluster) Metrics() *metrics.App { return c.met }

@@ -158,6 +158,27 @@ func (c *Cluster) InjectExecutorDeath(ex *Executor) bool {
 	return true
 }
 
+// InjectStraggler opens a transient straggler window on the executor:
+// its next window task executions (including one currently starting) run
+// at factor times their intrinsic cost. Unlike the destructive faults
+// nothing is lost — the inflation itself is the fault, and it is
+// attributed to the "straggler" class as it accrues. Safe to call from a
+// task context (the injector's OnTaskStart): every touched field is
+// executor-local or behind a leaf lock, and the event is emitted through
+// the task-ordered buffer. Returns false if the executor is dead,
+// already straggling, or the parameters are degenerate.
+func (c *Cluster) InjectStraggler(ex *Executor, factor float64, window int) bool {
+	if ex.dead || ex.slowTasks > 0 || factor <= 1 || window <= 0 {
+		return false
+	}
+	ex.slowFactor = factor
+	ex.slowTasks = window
+	c.met.IncFaultInjected()
+	c.emitEx(ex, eventlog.Event{Kind: eventlog.FaultInjected, Time: ex.Clock().Now(), Job: c.curJob,
+		Executor: ex.ID, Fault: "straggler", Count: window, Factor: factor})
+	return true
+}
+
 // InjectBucketLoss destroys a single map-output bucket of a shuffle — one
 // lost shuffle file, shuffle_map_bucket. Only the producing map task must
 // re-run; the engine re-executes exactly the invalidated producers when

@@ -10,6 +10,7 @@ import (
 	"blaze/internal/dataflow"
 	"blaze/internal/engine"
 	"blaze/internal/enginetest"
+	"blaze/internal/faults"
 	"blaze/internal/storage"
 )
 
@@ -130,3 +131,48 @@ func (f *faultInjector) RunJob(target *dataflow.Dataset, action string) [][]data
 
 func (f *faultInjector) Unpersist(d *dataflow.Dataset) { f.inner.Unpersist(d) }
 func (f *faultInjector) Release(d *dataflow.Dataset)   { f.inner.Release(d) }
+
+// FuzzFaultSchedules fuzzes the fault-schedule space — class subsets,
+// boundary and task rates, retry budgets — over the random programs and
+// requires every run to terminate with the reference checksums. The seed
+// corpus pins one schedule per fault class (bit i of classMask selects
+// faults.AllClasses()[i]).
+func FuzzFaultSchedules(f *testing.F) {
+	all := faults.AllClasses()
+	for i := range all {
+		f.Add(int64(i+1), int64(3*i+7), uint8(1<<i), uint8(i%3), uint8(4+i), i%2 == 0)
+	}
+	f.Add(int64(9), int64(42), uint8(0xff), uint8(1), uint8(5), true) // everything at once
+	f.Fuzz(func(t *testing.T, programSeed, faultSeed int64, classMask, every, taskEvery uint8, atStage bool) {
+		var classes []faults.Class
+		for i, cl := range all {
+			if classMask&(1<<i) != 0 {
+				classes = append(classes, cl)
+			}
+		}
+		if len(classes) == 0 {
+			return
+		}
+		programSeed = 1 + (programSeed%100+100)%100
+		cfg := faults.Config{
+			Seed:       faultSeed,
+			Classes:    classes,
+			Every:      int(every % 4),
+			AtStageEnd: atStage,
+			TaskEvery:  int(taskEvery % 16),
+		}
+		want := enginetest.RefChecksums(programSeed)
+		got, _, err := enginetest.RunRandomProgram(programSeed, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("schedule %+v on program %d: %d checksums, want %d", cfg, programSeed, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("schedule %+v on program %d: checksum %d = %d, want %d", cfg, programSeed, k, got[k], want[k])
+			}
+		}
+	})
+}

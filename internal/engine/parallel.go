@@ -48,10 +48,24 @@ func (c *Cluster) parallelPlan(st *Stage, taskParts []int) (map[*Executor][]int,
 	if !caps.Safe {
 		return nil, nil
 	}
+	// Resilience gates. A blacklisted executor reroutes its tasks onto
+	// other executors mid-stage, and an armed speculation race reads and
+	// advances another executor's core from inside a task — both are
+	// cross-executor effects the parallel machinery cannot buffer, so
+	// such stages take the sequential loop at every Parallelism setting
+	// (keeping virtual-time results bit-identical). Plain flakes and
+	// stragglers without speculation stay parallel-safe: their decisions
+	// are order-independent hashes and their costs are executor-local.
+	if c.anyBlacklisted() {
+		return nil, nil
+	}
+	if c.res.SpeculativeMultiple > 1 && (c.taskHook != nil || c.anyStraggling()) {
+		return nil, nil
+	}
 	perExec := make(map[*Executor][]int)
 	var order []*Executor
 	for i, p := range taskParts {
-		ex := c.ExecutorFor(p)
+		ex := c.taskExecutor(p)
 		if _, ok := perExec[ex]; !ok {
 			order = append(order, ex)
 		}

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"blaze/internal/costmodel"
+	"blaze/internal/dataflow"
+	"blaze/internal/eventlog"
+)
+
+// Canned transient-fault scenarios pinning down the retry, speculation
+// and blacklisting semantics: a task flake retries exactly the failed
+// attempt (never the stage), a straggling executor triggers a winning
+// speculative copy, and a persistently flaky executor is blacklisted and
+// later reinstated — all visible in the metrics and the event log.
+
+// testTaskHook is a pure-function TaskHook driven by predicates, as the
+// TaskHook contract requires (verdicts depend only on the arguments).
+type testTaskHook struct {
+	failTask  func(ex *Executor, st *Stage, part, attempt int) bool
+	failFetch func(ex *Executor, shuffleID, part, attempt int) bool
+}
+
+func (h *testTaskHook) OnJobStart(c *Cluster, j *Job)    {}
+func (h *testTaskHook) OnStageEnd(c *Cluster, st *Stage) {}
+func (h *testTaskHook) OnJobEnd(c *Cluster, j *Job)      {}
+func (h *testTaskHook) OnTaskStart(c *Cluster, ex *Executor, st *Stage, part, attempt int) bool {
+	return h.failTask != nil && h.failTask(ex, st, part, attempt)
+}
+func (h *testTaskHook) OnTaskEnd(c *Cluster, ex *Executor, st *Stage, part int) {}
+func (h *testTaskHook) OnFetch(c *Cluster, ex *Executor, shuffleID, part, attempt int) bool {
+	return h.failFetch != nil && h.failFetch(ex, shuffleID, part, attempt)
+}
+
+func resilienceCluster(t *testing.T, hook Hook, res Resilience, execs, cores int, params costmodel.Params) (*Cluster, *dataflow.Context, *eventlog.Log) {
+	t.Helper()
+	log := eventlog.New()
+	ctx := dataflow.NewContext()
+	c, err := NewCluster(Config{
+		Executors:         execs,
+		CoresPerExecutor:  cores,
+		MemoryPerExecutor: 64 * 1024 * 1024,
+		Params:            params,
+		Controller:        NewSparkMemDisk(),
+		Hook:              hook,
+		Resilience:        res,
+		EventLog:          log,
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ctx, log
+}
+
+func countEvents(log *eventlog.Log, kind eventlog.Kind) int {
+	n := 0
+	for _, e := range log.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTaskFlakeRetriesOnlyTheAttempt(t *testing.T) {
+	// Fault-free baseline: result and task count.
+	base, baseCtx, _ := resilienceCluster(t, nil, Resilience{}, 4, 1, costmodel.Default())
+	want := iterativeWorkload(baseCtx, 3, 6, 40, true)
+	bm := base.Finish()
+	baseTasks := 0
+	for i := range bm.Executors {
+		baseTasks += bm.Executors[i].Tasks
+	}
+
+	// Fail the first attempt of partition 2 in every stage.
+	hook := &testTaskHook{failTask: func(ex *Executor, st *Stage, part, attempt int) bool {
+		return part == 2 && attempt == 1
+	}}
+	c, ctx, log := resilienceCluster(t, hook, Resilience{MaxTaskRetries: 3}, 4, 1, costmodel.Default())
+	got := iterativeWorkload(ctx, 3, 6, 40, true)
+	m := c.Finish()
+
+	if got != want {
+		t.Errorf("result under task flakes %v != fault-free %v", got, want)
+	}
+	tasks := 0
+	for i := range m.Executors {
+		tasks += m.Executors[i].Tasks
+	}
+	// A flake retries exactly the failed attempt: the task body runs the
+	// same number of times as the fault-free run, never the whole stage.
+	if tasks != baseTasks {
+		t.Errorf("task executions %d != fault-free %d (flake must not re-run the stage)", tasks, baseTasks)
+	}
+	if m.TaskRetries == 0 {
+		t.Error("no task retries recorded")
+	}
+	if m.RetryBackoffTime <= 0 {
+		t.Error("no backoff time charged")
+	}
+	if m.FaultRecoveryByClass["task-flake"] <= 0 {
+		t.Errorf("no recovery time attributed to task-flake: %v", m.FaultRecoveryByClass)
+	}
+	if n := countEvents(log, eventlog.TaskRetry); n != m.TaskRetries {
+		t.Errorf("%d task_retry events != %d retries in metrics", n, m.TaskRetries)
+	}
+}
+
+func TestTaskFlakeRespectsRetryBudget(t *testing.T) {
+	// Fail every attempt everywhere; the final attempt's verdict is
+	// ignored, so the run still terminates with correct results and
+	// exactly MaxTaskRetries retries per task.
+	hook := &testTaskHook{failTask: func(ex *Executor, st *Stage, part, attempt int) bool {
+		return true
+	}}
+	c, ctx, _ := resilienceCluster(t, hook, Resilience{MaxTaskRetries: 2}, 4, 1, costmodel.Default())
+	refCtx := dataflow.NewContext()
+	dataflow.NewLocalRunner(refCtx)
+	want := iterativeWorkload(refCtx, 2, 4, 20, true)
+	got := iterativeWorkload(ctx, 2, 4, 20, true)
+	m := c.Finish()
+	if got != want {
+		t.Errorf("result %v != reference %v", got, want)
+	}
+	tasks := 0
+	for i := range m.Executors {
+		tasks += m.Executors[i].Tasks
+	}
+	if m.TaskRetries != 2*tasks {
+		t.Errorf("retries %d != budget 2 x %d tasks", m.TaskRetries, tasks)
+	}
+}
+
+func TestFetchFlakeRetriesFetch(t *testing.T) {
+	hook := &testTaskHook{failFetch: func(ex *Executor, shuffleID, part, attempt int) bool {
+		return attempt == 1
+	}}
+	c, ctx, log := resilienceCluster(t, hook, Resilience{MaxFetchRetries: 2}, 4, 1, costmodel.Default())
+	refCtx := dataflow.NewContext()
+	dataflow.NewLocalRunner(refCtx)
+	want := iterativeWorkload(refCtx, 3, 6, 40, true)
+	got := iterativeWorkload(ctx, 3, 6, 40, true)
+	m := c.Finish()
+	if got != want {
+		t.Errorf("result %v != reference %v", got, want)
+	}
+	if m.FetchRetries == 0 {
+		t.Error("no fetch retries recorded")
+	}
+	if m.FaultRecoveryByClass["fetch-flake"] <= 0 {
+		t.Errorf("no recovery time attributed to fetch-flake: %v", m.FaultRecoveryByClass)
+	}
+	if n := countEvents(log, eventlog.FetchRetry); n != m.FetchRetries {
+		t.Errorf("%d fetch_retry events != %d retries in metrics", n, m.FetchRetries)
+	}
+}
+
+// stragglerParams makes task compute time dominate the 2ms launch
+// overhead so a speculative copy (which pays overhead + raw compute)
+// can beat a 4x-slowed primary.
+func stragglerParams() costmodel.Params {
+	p := costmodel.Default()
+	p.RecordCost = map[costmodel.OpClass]time.Duration{
+		costmodel.OpSource: 4 * time.Microsecond,
+		costmodel.OpLight:  4 * time.Microsecond,
+		costmodel.OpMedium: 8 * time.Microsecond,
+		costmodel.OpHeavy:  16 * time.Microsecond,
+	}
+	return p
+}
+
+func TestStragglerTriggersSpeculativeWin(t *testing.T) {
+	run := func(res Resilience) (float64, *Cluster, *eventlog.Log) {
+		c, ctx, log := resilienceCluster(t, nil, res, 2, 1, stragglerParams())
+		if !c.InjectStraggler(c.execs[0], 4, 3) {
+			t.Fatal("InjectStraggler refused a healthy executor")
+		}
+		return iterativeWorkload(ctx, 2, 4, 1500, true), c, log
+	}
+
+	refCtx := dataflow.NewContext()
+	dataflow.NewLocalRunner(refCtx)
+	want := iterativeWorkload(refCtx, 2, 4, 1500, true)
+
+	// Without speculation the straggler just runs slow.
+	gotSlow, cSlow, _ := run(Resilience{})
+	mSlow := cSlow.Finish()
+	if gotSlow != want {
+		t.Errorf("straggler-only result %v != reference %v", gotSlow, want)
+	}
+	if mSlow.StragglerSlowdownTime <= 0 {
+		t.Error("no straggler slowdown time recorded")
+	}
+	if mSlow.SpeculativeLaunches != 0 {
+		t.Errorf("speculation disabled but %d launches", mSlow.SpeculativeLaunches)
+	}
+	slowACT := time.Duration(0)
+	for _, ex := range cSlow.execs {
+		if now := ex.Clock().Now(); now > slowACT {
+			slowACT = now
+		}
+	}
+
+	// With speculation a copy on the healthy executor wins the race.
+	gotSpec, cSpec, log := run(Resilience{SpeculativeMultiple: 2})
+	mSpec := cSpec.Finish()
+	if gotSpec != want {
+		t.Errorf("speculative result %v != reference %v", gotSpec, want)
+	}
+	if mSpec.SpeculativeLaunches == 0 {
+		t.Fatal("no speculative copies launched")
+	}
+	if mSpec.SpeculativeWins == 0 {
+		t.Fatal("no speculative copy won the race")
+	}
+	if mSpec.FaultRecoveryByClass["straggler"] <= 0 {
+		t.Errorf("no recovery time attributed to straggler: %v", mSpec.FaultRecoveryByClass)
+	}
+	wins := 0
+	for _, e := range log.Events() {
+		if e.Kind == eventlog.SpeculativeLaunch && e.Win {
+			wins++
+		}
+	}
+	if wins != mSpec.SpeculativeWins {
+		t.Errorf("%d winning speculative_launch events != %d wins in metrics", wins, mSpec.SpeculativeWins)
+	}
+	specACT := time.Duration(0)
+	for _, ex := range cSpec.execs {
+		if now := ex.Clock().Now(); now > specACT {
+			specACT = now
+		}
+	}
+	if specACT >= slowACT {
+		t.Errorf("speculation did not improve completion time: %v >= %v", specACT, slowACT)
+	}
+}
+
+func TestFlakyExecutorBlacklistedAndReinstated(t *testing.T) {
+	// Executor 0 flakes every attempt; after 2 flakes it is blacklisted
+	// for a 1-stage cooldown, its tasks reroute, then it is reinstated.
+	hook := &testTaskHook{failTask: func(ex *Executor, st *Stage, part, attempt int) bool {
+		return ex.ID == 0 && attempt == 1
+	}}
+	res := Resilience{MaxTaskRetries: 1, BlacklistAfter: 2, BlacklistCooldown: 1}
+	c, ctx, log := resilienceCluster(t, hook, res, 4, 1, costmodel.Default())
+	refCtx := dataflow.NewContext()
+	dataflow.NewLocalRunner(refCtx)
+	want := iterativeWorkload(refCtx, 4, 8, 40, true)
+	got := iterativeWorkload(ctx, 4, 8, 40, true)
+	m := c.Finish()
+	if got != want {
+		t.Errorf("result %v != reference %v", got, want)
+	}
+	if m.BlacklistedExecutors == 0 {
+		t.Fatal("flaky executor never blacklisted")
+	}
+	if countEvents(log, eventlog.ExecutorBlacklisted) != m.BlacklistedExecutors {
+		t.Errorf("executor_blacklisted events != %d metric", m.BlacklistedExecutors)
+	}
+	if countEvents(log, eventlog.ExecutorReinstated) == 0 {
+		t.Error("blacklisted executor never reinstated")
+	}
+	// Blacklisted is not dead: the cluster still reports every executor
+	// alive and the cache survives.
+	for _, ex := range c.execs {
+		if ex.dead {
+			t.Errorf("executor %d died from blacklisting", ex.ID)
+		}
+	}
+}

@@ -247,7 +247,7 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 		c.runStageParallel(st, taskParts, perExec, order, results)
 	} else {
 		for _, p := range taskParts {
-			ex := c.ExecutorFor(p)
+			ex := c.taskExecutor(p)
 			ex.PickCore() // least-loaded core runs the task
 			out := c.runTask(ex, st, p)
 			if st.IsResult {
@@ -297,6 +297,7 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 		idle[i] = end - ex.MaxClock()
 		ex.SyncTo(end)
 	}
+	c.updateBlacklist(st)
 	c.ctl.OnStageEnd(st, idle)
 	if c.cfg.Hook != nil {
 		c.cfg.Hook.OnStageEnd(c, st)
@@ -338,9 +339,195 @@ func (c *Cluster) attributePartialRecovery(st *Stage, classes map[int]string, co
 		Stage: st.ID, Dataset: st.Boundary.ID(), Shuffle: sid, Cost: cost, Count: total})
 }
 
-// runTask materializes one partition of the stage boundary and, for map
-// stages, writes the shuffle output.
+// taskExecutor returns the executor that will run the task for partition
+// p: the partition's home executor unless it is currently blacklisted, in
+// which case the task is deterministically rerouted over the live,
+// non-blacklisted executors (by partition index, so the same partition
+// lands on the same substitute in every run). If every live executor is
+// blacklisted, the home executor runs the task anyway rather than
+// starving the stage.
+func (c *Cluster) taskExecutor(p int) *Executor {
+	ex := c.ExecutorFor(p)
+	if !ex.blacklisted {
+		return ex
+	}
+	var eligible []*Executor
+	for _, e := range c.execs {
+		if !e.dead && !e.blacklisted {
+			eligible = append(eligible, e)
+		}
+	}
+	if len(eligible) == 0 {
+		return ex
+	}
+	return eligible[p%len(eligible)]
+}
+
+// updateBlacklist runs at each top-level stage barrier (driver context):
+// executors whose accumulated retryable failures crossed
+// Resilience.BlacklistAfter are blacklisted for BlacklistCooldown
+// top-level stages; already blacklisted executors count their cooldown
+// down and are reinstated when it expires. Blacklisted != dead: the
+// cache survives and the clocks keep participating in barriers.
+func (c *Cluster) updateBlacklist(st *Stage) {
+	if c.res.BlacklistAfter <= 0 {
+		return
+	}
+	for _, ex := range c.execs {
+		if ex.dead {
+			continue
+		}
+		if ex.blacklisted {
+			ex.cooldown--
+			if ex.cooldown <= 0 {
+				ex.blacklisted = false
+				ex.flakes = 0
+				c.emit(eventlog.Event{Kind: eventlog.ExecutorReinstated, Time: c.Now(), Job: c.curJob,
+					Stage: st.ID, Executor: ex.ID})
+			}
+			continue
+		}
+		if ex.flakes >= c.res.BlacklistAfter {
+			ex.blacklisted = true
+			ex.cooldown = c.res.BlacklistCooldown
+			ex.flakes = 0
+			c.met.IncBlacklisted()
+			c.emit(eventlog.Event{Kind: eventlog.ExecutorBlacklisted, Time: c.Now(), Job: c.curJob,
+				Stage: st.ID, Executor: ex.ID, Count: c.res.BlacklistCooldown})
+		}
+	}
+}
+
+// runTask executes the task for one partition of the stage boundary
+// inside its resilience envelope: transiently failed attempts are
+// retried with exponential backoff (bounded by Resilience.MaxTaskRetries;
+// the final attempt always runs for real, so tasks terminate and retries
+// never exceed the budget by construction), and an execution inside a
+// straggler window is inflated — and possibly raced against a
+// speculative copy — after the real work is measured.
 func (c *Cluster) runTask(ex *Executor, st *Stage, part int) []dataflow.Record {
+	if c.taskHook != nil {
+		for attempt := 1; ; attempt++ {
+			if !c.taskHook.OnTaskStart(c, ex, st, part, attempt) || attempt > c.res.MaxTaskRetries {
+				break
+			}
+			c.failTaskAttempt(ex, st, part, attempt)
+		}
+	}
+	start := ex.Clock().Now()
+	recs := c.runTaskBody(ex, st, part)
+	c.applyStraggler(ex, st, part, start)
+	if c.taskHook != nil {
+		c.taskHook.OnTaskEnd(c, ex, st, part)
+	}
+	return recs
+}
+
+// failTaskAttempt charges one transiently failed task attempt: the
+// wasted launch overhead plus a deterministic exponential backoff before
+// the retry, both on the executor's own core clock — executor-local, so
+// flaky attempts stay bit-identical under parallel stage execution.
+func (c *Cluster) failTaskAttempt(ex *Executor, st *Stage, part, attempt int) {
+	backoff := c.res.RetryBackoff << (attempt - 1)
+	cost := c.cfg.Params.TaskOverhead + backoff
+	ex.Clock().Advance(cost)
+	ex.flakes++
+	c.met.IncFaultInjected()
+	c.met.AddTaskRetry(cost)
+	c.met.AddFaultRecovery(c.curJob, cost)
+	c.met.AddFaultRecoveryClass("task-flake", cost)
+	c.emitEx(ex, eventlog.Event{Kind: eventlog.TaskRetry, Time: ex.Clock().Now(), Job: c.curJob,
+		Stage: st.ID, Executor: ex.ID, Dataset: st.Boundary.ID(), Partition: part,
+		Attempt: attempt, Cost: cost})
+}
+
+// applyStraggler inflates the just-finished execution if the executor is
+// inside a straggler window and, when speculation is enabled, races a
+// copy of the task on the fastest eligible executor. The task's own
+// unslowed duration stands in for the stage's median task time (a
+// stage's tasks are homogeneous partitions of one boundary), so the copy
+// launches at the virtual instant the task exceeds SpeculativeMultiple
+// times its intrinsic cost; the first finisher wins and the loser is
+// killed at the winner's finish time, its core time accounted as
+// straggler recovery waste. Without speculation the slowdown is
+// executor-local and therefore parallel-safe; stages that could
+// speculate are gated onto the sequential loop by parallelPlan.
+func (c *Cluster) applyStraggler(ex *Executor, st *Stage, part int, start time.Duration) {
+	if ex.slowTasks <= 0 {
+		return
+	}
+	factor := ex.slowFactor
+	ex.slowTasks--
+	if ex.slowTasks == 0 {
+		ex.slowFactor = 0
+	}
+	raw := ex.Clock().Now() - start
+	if raw <= 0 || factor <= 1 {
+		return
+	}
+	extra := time.Duration(float64(raw) * (factor - 1))
+	slowFinish := start + raw + extra
+
+	if mult := c.res.SpeculativeMultiple; mult > 1 && factor > mult {
+		if copyEx, core := c.speculationTarget(ex); copyEx != nil {
+			detect := start + time.Duration(float64(raw)*mult)
+			copyStart := core.Now()
+			if copyStart < detect {
+				copyStart = detect
+			}
+			if copyStart < slowFinish {
+				copyFinish := copyStart + c.cfg.Params.TaskOverhead + raw
+				win := copyFinish < slowFinish
+				finish := slowFinish
+				if win {
+					finish = copyFinish
+				}
+				// Both runners execute until the winner's finish: the
+				// straggling primary past its intrinsic cost and the
+				// copy's whole run are redundant work caused by the fault.
+				wasted := finish - (start + raw)
+				copyTime := finish - copyStart
+				ex.Clock().Advance(wasted)
+				core.AdvanceTo(finish)
+				c.met.AddSpeculative(win)
+				c.met.AddStragglerSlowdown(wasted)
+				c.met.AddFaultRecovery(c.curJob, wasted+copyTime)
+				c.met.AddFaultRecoveryClass("straggler", wasted+copyTime)
+				c.emitEx(ex, eventlog.Event{Kind: eventlog.SpeculativeLaunch, Time: copyStart, Job: c.curJob,
+					Stage: st.ID, Executor: copyEx.ID, Dataset: st.Boundary.ID(), Partition: part,
+					Cost: copyTime, Win: win})
+				return
+			}
+		}
+	}
+	ex.Clock().Advance(extra)
+	c.met.AddStragglerSlowdown(extra)
+	c.met.AddFaultRecovery(c.curJob, extra)
+	c.met.AddFaultRecoveryClass("straggler", extra)
+}
+
+// speculationTarget picks the executor a speculative copy runs on: the
+// live, non-blacklisted executor other than the straggler whose
+// least-loaded core is earliest, ties by id order. Returns nil when the
+// straggler is the only candidate.
+func (c *Cluster) speculationTarget(ex *Executor) (*Executor, *costmodel.Clock) {
+	var best *Executor
+	var bestClock *costmodel.Clock
+	for _, cand := range c.execs {
+		if cand == ex || cand.dead || cand.blacklisted {
+			continue
+		}
+		cl := cand.idleCore()
+		if best == nil || cl.Now() < bestClock.Now() {
+			best, bestClock = cand, cl
+		}
+	}
+	return best, bestClock
+}
+
+// runTaskBody materializes one partition of the stage boundary and, for
+// map stages, writes the shuffle output.
+func (c *Cluster) runTaskBody(ex *Executor, st *Stage, part int) []dataflow.Record {
 	ex.Clock().Advance(c.cfg.Params.TaskOverhead)
 	c.met.Executors[ex.ID].Tasks++
 	recs := c.materialize(ex, st.Boundary, part)
@@ -545,10 +732,30 @@ func (c *Cluster) writeToDisk(ex *Executor, id storage.BlockID, recs []dataflow.
 // fetchShuffle reads one reduce bucket, regenerating the parent stage if
 // the shuffle outputs were cleaned. It returns the records and the direct
 // fetch cost (excluding any regeneration, which is charged to its own
-// stage's tasks).
+// stage's tasks, and excluding transient fetch-flake backoff, which must
+// not pollute the incremental cost estimates controllers build on).
 func (c *Cluster) fetchShuffle(ex *Executor, dep dataflow.Dependency, childParts, part int) ([]dataflow.Record, time.Duration) {
 	if !c.shuffle.Complete(dep.ShuffleID) {
 		c.regenerateShuffle(dep, childParts)
+	}
+	if c.taskHook != nil {
+		// Transient fetch flakes: the bucket is intact, the attempt just
+		// failed. Bounded like task retries; the verdict of the final
+		// attempt is ignored so fetches always complete.
+		for attempt := 1; ; attempt++ {
+			if !c.taskHook.OnFetch(c, ex, dep.ShuffleID, part, attempt) || attempt > c.res.MaxFetchRetries {
+				break
+			}
+			backoff := c.res.RetryBackoff << (attempt - 1)
+			ex.Clock().Advance(backoff)
+			ex.flakes++
+			c.met.IncFaultInjected()
+			c.met.AddFetchRetry(backoff)
+			c.met.AddFaultRecovery(c.curJob, backoff)
+			c.met.AddFaultRecoveryClass("fetch-flake", backoff)
+			c.emitEx(ex, eventlog.Event{Kind: eventlog.FetchRetry, Time: ex.Clock().Now(), Job: c.curJob,
+				Executor: ex.ID, Shuffle: dep.ShuffleID, Partition: part, Attempt: attempt, Cost: backoff})
+		}
 	}
 	recs, bytes, err := c.shuffle.Fetch(dep.ShuffleID, part)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"blaze/internal/costmodel"
 	"blaze/internal/dataflow"
 	"blaze/internal/engine"
+	"blaze/internal/eventlog"
 	"blaze/internal/faults"
 	"blaze/internal/metrics"
 )
@@ -40,9 +41,30 @@ func (s ClusterSpec) withDefaults() ClusterSpec {
 // resubmission) must make the returned checksums identical to the
 // fault-free run's, deterministically for a fixed seed.
 func RunRandomProgram(seed int64, spec ClusterSpec, ctl engine.Controller, fcfg *faults.Config) ([]int64, *metrics.App, error) {
+	return RunRandomProgramEx(seed, spec, ctl, fcfg, RunOptions{})
+}
+
+// RunOptions extends RunRandomProgram with the knobs the chaos soak
+// harness sweeps: an explicit engine parallelism, a resilience
+// configuration, and an optional event log to capture.
+type RunOptions struct {
+	// Parallelism is passed through to engine.Config.Parallelism
+	// (0 = all CPUs, 1 = sequential loop).
+	Parallelism int
+	// Resilience is passed through to engine.Config.Resilience.
+	Resilience engine.Resilience
+	// EventLog, when non-nil, records the run's structured events.
+	EventLog *eventlog.Log
+}
+
+// RunRandomProgramEx is RunRandomProgram with explicit RunOptions.
+func RunRandomProgramEx(seed int64, spec ClusterSpec, ctl engine.Controller, fcfg *faults.Config, opts RunOptions) ([]int64, *metrics.App, error) {
 	spec = spec.withDefaults()
 	var hook engine.Hook
 	if fcfg != nil {
+		if err := fcfg.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("enginetest: %w", err)
+		}
 		hook = faults.New(*fcfg)
 	}
 	ctx := dataflow.NewContext()
@@ -53,6 +75,9 @@ func RunRandomProgram(seed int64, spec ClusterSpec, ctl engine.Controller, fcfg 
 		Params:            costmodel.Default(),
 		Controller:        ctl,
 		Hook:              hook,
+		Parallelism:       opts.Parallelism,
+		Resilience:        opts.Resilience,
+		EventLog:          opts.EventLog,
 	}, ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("enginetest: %w", err)

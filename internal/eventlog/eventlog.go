@@ -54,6 +54,24 @@ const (
 	// recomputation of a fault-lost block or the regeneration of a
 	// fault-cleaned shuffle, with the recovery work in Cost.
 	Recovered Kind = "recovered"
+	// TaskRetry records one transiently failed task attempt (Attempt,
+	// 1-based) and the wasted launch overhead plus backoff in Cost; the
+	// retry of exactly that attempt follows, never a stage re-run.
+	TaskRetry Kind = "task_retry"
+	// FetchRetry records one transiently failed shuffle-fetch attempt
+	// (Shuffle, reduce Partition, Attempt) with its backoff in Cost.
+	FetchRetry Kind = "fetch_retry"
+	// SpeculativeLaunch records a speculative copy of a straggling task
+	// launched on Executor; Win marks copies that finished before the
+	// straggling primary, and Cost carries the copy's core time.
+	SpeculativeLaunch Kind = "speculative_launch"
+	// ExecutorBlacklisted records a flaky executor crossing the
+	// retryable-failure threshold: the scheduler skips it for Count
+	// top-level stages while its cache survives.
+	ExecutorBlacklisted Kind = "executor_blacklisted"
+	// ExecutorReinstated records a blacklisted executor rejoining the
+	// scheduling pool after its cooldown expired.
+	ExecutorReinstated Kind = "executor_reinstated"
 )
 
 // Event is one log record. Fields are populated according to Kind; zero
@@ -85,8 +103,16 @@ type Event struct {
 	Bucket int `json:"bucket,omitempty"`
 	// Count carries event cardinalities: migrated partition slots on
 	// PartitionsMigrated, lost map outputs on ExecutorDead, re-run map
-	// tasks on partial-shuffle Recovered events.
+	// tasks on partial-shuffle Recovered events, cooldown stages on
+	// ExecutorBlacklisted, window length on straggler FaultInjected.
 	Count int `json:"count,omitempty"`
+	// Attempt is the 1-based attempt number on TaskRetry/FetchRetry.
+	Attempt int `json:"attempt,omitempty"`
+	// Win marks SpeculativeLaunch events whose copy beat the primary.
+	Win bool `json:"win,omitempty"`
+	// Factor is the slowdown multiplier on straggler FaultInjected
+	// events.
+	Factor float64 `json:"factor,omitempty"`
 }
 
 // Log is an in-memory, append-only event log.
@@ -155,6 +181,14 @@ type JobSummary struct {
 	Recoveries   int
 	RecoveryTime time.Duration
 	Migrated     int
+	// Retries counts transiently failed task and fetch attempts that
+	// were retried; Speculative and SpeculativeWins count speculative
+	// copies launched and won; Blacklisted counts flaky-executor
+	// blacklist episodes during the job.
+	Retries         int
+	Speculative     int
+	SpeculativeWins int
+	Blacklisted     int
 }
 
 // DatasetSummary aggregates one dataset's cache lifecycle.
@@ -238,6 +272,16 @@ func Summarize(l *Log) *Summary {
 			job(cur).Faults++
 		case PartitionsMigrated:
 			job(cur).Migrated += e.Count
+		case TaskRetry, FetchRetry:
+			job(cur).Retries++
+		case SpeculativeLaunch:
+			j := job(cur)
+			j.Speculative++
+			if e.Win {
+				j.SpeculativeWins++
+			}
+		case ExecutorBlacklisted:
+			job(cur).Blacklisted++
 		case Recovered:
 			j := job(cur)
 			j.Recoveries++

@@ -3,11 +3,16 @@
 // (§4.3, Fig. 5) a first-class, testable scenario rather than an
 // incidental side effect of shuffle cleaning.
 //
-// An Injector implements engine.Hook: it observes job and top-level stage
-// boundaries and, on a configurable period, destroys state the engine
-// must then recover through its three recovery paths — recomputation from
-// lineage, disk reload, and Spark-style stage resubmission on missing
-// shuffle files. Five fault classes are supported:
+// An Injector implements engine.Hook and engine.TaskHook. Permanent
+// faults fire at job and top-level stage boundaries and destroy state the
+// engine must then recover through its three recovery paths —
+// recomputation from lineage, disk reload, and Spark-style stage
+// resubmission on missing shuffle files. Transient faults fire at task
+// granularity and are absorbed by the scheduler's resilience machinery
+// (bounded retries with backoff, speculative execution, blacklisting)
+// without destroying any state. Eight fault classes are supported:
+//
+// Permanent (boundary granularity):
 //
 //   - ExecutorCacheLoss: every cached block (memory and disk) of one
 //     executor vanishes, modeling an executor restart;
@@ -21,17 +26,29 @@
 //     vanishes, so only its producing map task re-runs (fine-grained
 //     resubmission).
 //
-// All choices (when to fire, which class, which victim) derive from one
-// rand.Rand seeded by Config.Seed over deterministic enumerations of the
-// cluster state, so a run with faults is exactly reproducible — the
-// property the recovery-equivalence harness in internal/enginetest
-// relies on.
+// Transient (task granularity):
+//
+//   - TaskFlake: one task attempt fails and is retried with backoff;
+//   - FetchFlake: one shuffle-fetch attempt fails transiently — the
+//     bucket itself is intact and the fetch is retried;
+//   - Straggler: an executor runs at a configurable slowdown multiplier
+//     for a bounded window of task executions.
+//
+// Determinism works differently for the two groups. Permanent choices
+// (when to fire, which class, which victim) derive from one rand.Rand
+// seeded by Config.Seed over deterministic enumerations of the cluster
+// state; the draw order is part of the contract — see Injector. Transient
+// decisions are pure hash functions of the attempt's identity (seed,
+// stage, partition, attempt number), never a shared RNG stream, so they
+// are independent of execution order and remain bit-identical when the
+// engine runs stage tasks on concurrent per-executor workers.
 package faults
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"blaze/internal/engine"
 	"blaze/internal/storage"
@@ -53,6 +70,16 @@ const (
 	// BucketLoss destroys one map-output bucket of a completed shuffle,
 	// re-running only the producing map task.
 	BucketLoss
+	// TaskFlake fails a single task attempt transiently; the scheduler
+	// retries the attempt (never the stage) with exponential backoff.
+	TaskFlake
+	// FetchFlake fails a single shuffle-fetch attempt transiently without
+	// losing the bucket; the fetch is retried with backoff.
+	FetchFlake
+	// Straggler opens a bounded window during which one executor's tasks
+	// run at a configurable slowdown multiplier, triggering speculative
+	// execution when the scheduler has it enabled.
+	Straggler
 )
 
 // String names the fault class.
@@ -68,37 +95,82 @@ func (c Class) String() string {
 		return "exec-death"
 	case BucketLoss:
 		return "bucket"
+	case TaskFlake:
+		return "task-flake"
+	case FetchFlake:
+		return "fetch-flake"
+	case Straggler:
+		return "straggler"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
 }
 
-// AllClasses lists every fault class.
+// Transient reports whether the class is a task-granularity transient
+// fault (absorbed by retries/speculation) rather than a permanent loss.
+func (c Class) Transient() bool {
+	return c == TaskFlake || c == FetchFlake || c == Straggler
+}
+
+// AllClasses lists every fault class, permanent then transient.
 func AllClasses() []Class {
+	return []Class{ExecutorCacheLoss, BlockLoss, ShuffleLoss, ExecutorDeath, BucketLoss,
+		TaskFlake, FetchFlake, Straggler}
+}
+
+// PermanentClasses lists the boundary-granularity destructive classes.
+func PermanentClasses() []Class {
 	return []Class{ExecutorCacheLoss, BlockLoss, ShuffleLoss, ExecutorDeath, BucketLoss}
 }
 
+// TransientClasses lists the task-granularity retryable classes.
+func TransientClasses() []Class {
+	return []Class{TaskFlake, FetchFlake, Straggler}
+}
+
 // ParseClasses parses a comma-separated class list ("exec,shuffle",
-// "block", or "all").
+// "block", "task-flake", the groups "permanent"/"transient", or "all").
+// Duplicates — whether repeated tokens or overlaps like "all,exec" — are
+// removed while preserving first-seen order, so the injector's uniform
+// class draw is never silently skewed toward a repeated class.
 func ParseClasses(spec string) ([]Class, error) {
 	var out []Class
+	seen := make(map[Class]bool)
+	add := func(cs ...Class) {
+		for _, c := range cs {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
 	for _, f := range strings.Split(spec, ",") {
 		switch strings.TrimSpace(f) {
 		case "":
 		case "all":
-			out = append(out, AllClasses()...)
+			add(AllClasses()...)
+		case "permanent":
+			add(PermanentClasses()...)
+		case "transient":
+			add(TransientClasses()...)
 		case "exec":
-			out = append(out, ExecutorCacheLoss)
+			add(ExecutorCacheLoss)
 		case "block":
-			out = append(out, BlockLoss)
+			add(BlockLoss)
 		case "shuffle":
-			out = append(out, ShuffleLoss)
+			add(ShuffleLoss)
 		case "exec-death":
-			out = append(out, ExecutorDeath)
+			add(ExecutorDeath)
 		case "bucket":
-			out = append(out, BucketLoss)
+			add(BucketLoss)
+		case "task-flake":
+			add(TaskFlake)
+		case "fetch-flake":
+			add(FetchFlake)
+		case "straggler":
+			add(Straggler)
 		default:
-			return nil, fmt.Errorf("faults: unknown fault class %q (want exec, block, shuffle, exec-death, bucket or all)", strings.TrimSpace(f))
+			return nil, fmt.Errorf("faults: unknown fault class %q (want exec, block, shuffle, exec-death, bucket, task-flake, fetch-flake, straggler, permanent, transient or all)", strings.TrimSpace(f))
 		}
 	}
 	return out, nil
@@ -111,43 +183,152 @@ type Config struct {
 	// Classes lists the fault classes to draw from; empty injects
 	// nothing.
 	Classes []Class
-	// Every fires one fault per Every observed boundaries (default 1).
+	// Every fires one permanent fault per Every observed boundaries
+	// (default 1). It does not affect the transient classes, which fire
+	// per task/fetch attempt under TaskEvery.
 	Every int
-	// AtStageEnd fires at top-level stage boundaries instead of job
-	// boundaries, exercising mid-job recovery (regeneration inside a
-	// running job rather than at its start).
+	// AtStageEnd fires permanent faults at top-level stage boundaries
+	// instead of job boundaries, exercising mid-job recovery
+	// (regeneration inside a running job rather than at its start).
 	AtStageEnd bool
-	// MaxFaults caps the total injections; 0 means unlimited.
+	// MaxFaults caps the total permanent injections; 0 means unlimited.
+	// Transient faults are exempt: a global cap over task-granularity
+	// events would make which firings are suppressed depend on task
+	// execution order, breaking the bit-identity between sequential and
+	// parallel runs.
 	MaxFaults int
+	// TaskEvery fires roughly one transient fault per TaskEvery task or
+	// fetch attempts (default 8). The decision is a pure hash of the
+	// attempt's identity, not a counter, so the long-run rate is 1/N
+	// while individual firings stay order-independent.
+	TaskEvery int
+	// StragglerFactor is the virtual-clock slowdown multiplier of
+	// injected straggler windows (default 4; must exceed 1 when set).
+	StragglerFactor float64
+	// StragglerWindow is the number of task executions a straggler
+	// window spans (default 3).
+	StragglerWindow int
 }
 
-// Injector injects faults at cluster boundaries. It implements
-// engine.Hook; attach it via engine.Config.Hook.
+// Validate rejects misconfigured schedules with a descriptive error, so
+// callers (the facade, CLI flags) fail loudly instead of the injector
+// silently remapping nonsense values to defaults.
+func (cfg Config) Validate() error {
+	if cfg.Every < 0 {
+		return fmt.Errorf("faults: Every must be >= 0 (0 means default 1), got %d", cfg.Every)
+	}
+	if cfg.MaxFaults < 0 {
+		return fmt.Errorf("faults: MaxFaults must be >= 0 (0 means unlimited), got %d", cfg.MaxFaults)
+	}
+	if cfg.TaskEvery < 0 {
+		return fmt.Errorf("faults: TaskEvery must be >= 0 (0 means default 8), got %d", cfg.TaskEvery)
+	}
+	if cfg.StragglerFactor != 0 && cfg.StragglerFactor <= 1 {
+		return fmt.Errorf("faults: StragglerFactor must exceed 1 (0 means default 4), got %g", cfg.StragglerFactor)
+	}
+	if cfg.StragglerWindow < 0 {
+		return fmt.Errorf("faults: StragglerWindow must be >= 0 (0 means default 3), got %d", cfg.StragglerWindow)
+	}
+	for _, cl := range cfg.Classes {
+		if cl < ExecutorCacheLoss || cl > Straggler {
+			return fmt.Errorf("faults: unknown fault class %d", int(cl))
+		}
+	}
+	return nil
+}
+
+// Injector injects faults at cluster boundaries (permanent classes) and
+// task attempts (transient classes). It implements engine.Hook and
+// engine.TaskHook; attach it via engine.Config.Hook.
+//
+// Draw-order contract for the permanent RNG stream: every firing
+// boundary consumes exactly one draw for the class choice, plus one draw
+// for the victim choice if and only if victims of that class exist. A
+// boundary whose drawn class has no victim (nothing cached, no complete
+// shuffle) therefore consumes exactly one draw, keeping later boundaries
+// of the schedule aligned regardless of when victims first appear. The
+// transient classes never touch this stream — their decisions are
+// stateless hashes — so adding them to a schedule cannot shift the
+// permanent victim sequence.
 type Injector struct {
 	cfg        Config
 	rng        *rand.Rand
 	boundaries int
-	injected   int
-	byClass    map[Class]int
+
+	// perm and taskClasses split cfg.Classes (deduplicated, first-seen
+	// order) into the boundary-draw pool and the task-draw pool;
+	// fetchFlake is pulled out because it fires on a different code path.
+	perm        []Class
+	taskClasses []Class
+	fetchFlake  bool
+
+	// mu guards the injection counters, which transient classes update
+	// from concurrent task contexts. Leaf lock.
+	mu       sync.Mutex
+	injected int
+	byClass  map[Class]int
 }
 
-// New creates an injector for the schedule.
+// New creates an injector for the schedule. Zero-valued knobs take their
+// documented defaults (Every 1, TaskEvery 8, StragglerFactor 4,
+// StragglerWindow 3); call Config.Validate first to reject negatives.
 func New(cfg Config) *Injector {
 	if cfg.Every <= 0 {
 		cfg.Every = 1
 	}
-	return &Injector{
+	if cfg.TaskEvery <= 0 {
+		cfg.TaskEvery = 8
+	}
+	if cfg.StragglerFactor <= 1 {
+		cfg.StragglerFactor = 4
+	}
+	if cfg.StragglerWindow <= 0 {
+		cfg.StragglerWindow = 3
+	}
+	in := &Injector{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		byClass: make(map[Class]int),
 	}
+	seen := make(map[Class]bool)
+	for _, cl := range cfg.Classes {
+		if seen[cl] {
+			continue // duplicates would skew the uniform class draw
+		}
+		seen[cl] = true
+		switch cl {
+		case TaskFlake, Straggler:
+			in.taskClasses = append(in.taskClasses, cl)
+		case FetchFlake:
+			in.fetchFlake = true
+		default:
+			in.perm = append(in.perm, cl)
+		}
+	}
+	return in
 }
 
 // Injected returns the number of faults injected so far.
-func (in *Injector) Injected() int { return in.injected }
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
 
 // InjectedByClass returns the number of injected faults of one class.
-func (in *Injector) InjectedByClass(c Class) int { return in.byClass[c] }
+func (in *Injector) InjectedByClass(c Class) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.byClass[c]
+}
+
+// count records one successful injection of the class.
+func (in *Injector) count(c Class) {
+	in.mu.Lock()
+	in.injected++
+	in.byClass[c]++
+	in.mu.Unlock()
+}
 
 // OnJobStart implements engine.Hook (no injection at job start: the DAG
 // was just built against the current cache state).
@@ -167,29 +348,100 @@ func (in *Injector) OnJobEnd(c *engine.Cluster, j *engine.Job) {
 	}
 }
 
-// tick counts one boundary and injects when the period elapses.
+// tick counts one boundary and injects a permanent fault when the period
+// elapses.
 func (in *Injector) tick(c *engine.Cluster) {
-	if len(in.cfg.Classes) == 0 {
+	if len(in.perm) == 0 {
 		return
 	}
-	if in.cfg.MaxFaults > 0 && in.injected >= in.cfg.MaxFaults {
+	if in.cfg.MaxFaults > 0 && in.Injected() >= in.cfg.MaxFaults {
 		return
 	}
 	in.boundaries++
 	if in.boundaries%in.cfg.Every != 0 {
 		return
 	}
-	class := in.cfg.Classes[in.rng.Intn(len(in.cfg.Classes))]
+	class := in.perm[in.rng.Intn(len(in.perm))]
 	if in.inject(c, class) {
-		in.injected++
-		in.byClass[class]++
+		in.count(class)
 	}
+}
+
+// splitmix folds the parts into the seed with a splitmix64-style mixer —
+// a pure function, so transient fault decisions depend only on the
+// attempt's identity and never on the order attempts execute in.
+func splitmix(seed uint64, parts ...uint64) uint64 {
+	h := seed
+	for _, p := range parts {
+		h ^= p
+		h += 0x9e3779b97f4a7c15
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// taskDraw decides whether the attempt identified by parts draws a
+// transient fault from classes, firing at a 1-in-TaskEvery rate.
+func (in *Injector) taskDraw(classes []Class, parts ...uint64) (Class, bool) {
+	if len(classes) == 0 {
+		return 0, false
+	}
+	h := splitmix(uint64(in.cfg.Seed)*0x9e3779b97f4a7c15+0x1234567, parts...)
+	every := uint64(in.cfg.TaskEvery)
+	if h%every != 0 {
+		return 0, false
+	}
+	return classes[(h/every)%uint64(len(classes))], true
+}
+
+// OnTaskStart implements engine.TaskHook: it may fail the attempt
+// transiently (task-flake) or open a straggler window on the executor.
+// Stage IDs are globally unique and deterministic, so (stage, partition,
+// attempt) identifies the attempt across runs and parallelism settings.
+func (in *Injector) OnTaskStart(c *engine.Cluster, ex *engine.Executor, st *engine.Stage, part, attempt int) bool {
+	class, ok := in.taskDraw(in.taskClasses, 1, uint64(st.ID), uint64(part), uint64(attempt))
+	if !ok {
+		return false
+	}
+	switch class {
+	case TaskFlake:
+		in.count(TaskFlake)
+		return true
+	case Straggler:
+		if c.InjectStraggler(ex, in.cfg.StragglerFactor, in.cfg.StragglerWindow) {
+			in.count(Straggler)
+		}
+	}
+	return false
+}
+
+// OnTaskEnd implements engine.TaskHook (nothing to do after a success).
+func (in *Injector) OnTaskEnd(c *engine.Cluster, ex *engine.Executor, st *engine.Stage, part int) {}
+
+// OnFetch implements engine.TaskHook: it may fail one shuffle-fetch
+// attempt transiently. The executor id joins the identity because the
+// same (shuffle, partition) bucket may be fetched by different executors
+// (broadcast joins, rerouted tasks).
+func (in *Injector) OnFetch(c *engine.Cluster, ex *engine.Executor, shuffleID, part, attempt int) bool {
+	if !in.fetchFlake {
+		return false
+	}
+	_, ok := in.taskDraw([]Class{FetchFlake}, 2, uint64(c.CurrentJob()), uint64(shuffleID), uint64(part), uint64(ex.ID), uint64(attempt))
+	if ok {
+		in.count(FetchFlake)
+	}
+	return ok
 }
 
 // inject performs one fault of the class, choosing the victim
 // pseudo-randomly over a deterministic enumeration of the cluster state.
 // Returns false when no victim exists (nothing cached, no complete
-// shuffle).
+// shuffle); no victim draw is consumed in that case — see the draw-order
+// contract on Injector.
 func (in *Injector) inject(c *engine.Cluster, class Class) bool {
 	switch class {
 	case ExecutorCacheLoss:

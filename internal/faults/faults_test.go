@@ -4,8 +4,12 @@ package faults_test
 // enginetest (the harness they drive) imports faults.
 
 import (
+	"fmt"
 	"reflect"
+	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"blaze/internal/engine"
 	"blaze/internal/enginetest"
@@ -30,6 +34,71 @@ func TestParseClasses(t *testing.T) {
 	}
 	if _, err := faults.ParseClasses("exec,bogus"); err == nil {
 		t.Fatal("ParseClasses accepted an unknown class")
+	}
+}
+
+// TestParseClassesDeduplicates pins the duplicate-handling contract:
+// repeated tokens and overlapping groups collapse to one entry each, in
+// first-seen order.
+func TestParseClassesDeduplicates(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []faults.Class
+	}{
+		{"all,exec", faults.AllClasses()},
+		{"exec,all", faults.AllClasses()}, // exec first, then the rest of all
+		{"exec,exec,exec", []faults.Class{faults.ExecutorCacheLoss}},
+		{"shuffle,exec,shuffle", []faults.Class{faults.ShuffleLoss, faults.ExecutorCacheLoss}},
+		{"permanent", faults.PermanentClasses()},
+		{"transient", faults.TransientClasses()},
+		{"permanent,transient", faults.AllClasses()},
+		{"task-flake,transient", []faults.Class{faults.TaskFlake, faults.FetchFlake, faults.Straggler}},
+	}
+	for _, tc := range cases {
+		got, err := faults.ParseClasses(tc.spec)
+		if err != nil {
+			t.Errorf("ParseClasses(%q): %v", tc.spec, err)
+			continue
+		}
+		if tc.spec == "exec,all" {
+			want := append([]faults.Class{faults.ExecutorCacheLoss}, nonExec(faults.AllClasses())...)
+			tc.want = want
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseClasses(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func nonExec(cs []faults.Class) []faults.Class {
+	var out []faults.Class
+	for _, c := range cs {
+		if c != faults.ExecutorCacheLoss {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestConfigValidate pins the validation contract: negative knobs are
+// rejected with descriptive errors instead of being silently remapped.
+func TestConfigValidate(t *testing.T) {
+	ok := faults.Config{Seed: 1, Classes: faults.AllClasses()}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []faults.Config{
+		{Every: -1},
+		{MaxFaults: -2},
+		{TaskEvery: -1},
+		{StragglerWindow: -3},
+		{StragglerFactor: 0.5},
+		{Classes: []faults.Class{faults.Class(99)}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
 	}
 }
 
@@ -119,4 +188,105 @@ func TestEveryAndMaxFaults(t *testing.T) {
 	if nc != 1 {
 		t.Fatalf("MaxFaults=1 injected %d faults", nc)
 	}
+}
+
+// TestMaxFaultsCapsPermanentAcrossClasses checks the cap applies to the
+// whole permanent stream (both classes share it) while transient classes
+// are exempt, as documented on Config.MaxFaults: an order-dependent
+// global cap would break the parallel bit-identity of hash-drawn faults.
+func TestMaxFaultsCapsPermanentAcrossClasses(t *testing.T) {
+	cfg := faults.Config{
+		Seed:       5,
+		Classes:    []faults.Class{faults.ExecutorCacheLoss, faults.BlockLoss, faults.TaskFlake},
+		AtStageEnd: true,
+		MaxFaults:  2,
+		TaskEvery:  4,
+	}
+	_, m, err := enginetest.RunRandomProgram(5, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TaskRetries == 0 {
+		t.Fatal("transient class never fired; the exemption is untested")
+	}
+	// Every task flake also counts into FaultsInjected, so subtract the
+	// retries to recover the permanent total the cap governs.
+	permanent := m.FaultsInjected - m.TaskRetries
+	if permanent > 2 {
+		t.Fatalf("MaxFaults=2 but %d permanent faults injected", permanent)
+	}
+	if m.FaultsInjected <= 2 {
+		t.Fatalf("transient faults should exceed the permanent cap, got %d total", m.FaultsInjected)
+	}
+}
+
+// TestNoVictimClassKeepsScheduleAligned pins the draw-order contract: a
+// boundary whose chosen class finds no victim (shuffle loss before any
+// shuffle completed) must not desynchronize the draws of later
+// boundaries. Two runs of the same mixed schedule — one where the
+// no-victim class is present and fires early, one without it — stay
+// individually deterministic, and the mixed run still injects.
+func TestNoVictimClassKeepsScheduleAligned(t *testing.T) {
+	cfg := faults.Config{
+		Seed:       3,
+		Classes:    []faults.Class{faults.ShuffleLoss, faults.ExecutorCacheLoss},
+		AtStageEnd: true,
+	}
+	run := func() ([]int64, int) {
+		sums, m, err := enginetest.RunRandomProgram(3, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums, m.FaultsInjected
+	}
+	s1, n1 := run()
+	s2, n2 := run()
+	if n1 == 0 {
+		t.Fatal("mixed schedule injected nothing")
+	}
+	if !reflect.DeepEqual(s1, s2) || n1 != n2 {
+		t.Fatalf("no-victim boundaries desynchronized the schedule: (%v,%d) vs (%v,%d)", s1, n1, s2, n2)
+	}
+}
+
+// TestTransientDrawsAreOrderIndependent runs a transient-heavy schedule
+// under Parallelism 1 and 8 and requires identical results, retry counts
+// and recovery attribution: the hash draws must not depend on the order
+// workers reach the attempts.
+func TestTransientDrawsAreOrderIndependent(t *testing.T) {
+	cfg := faults.Config{
+		Seed:      11,
+		Classes:   faults.TransientClasses(),
+		TaskEvery: 4,
+	}
+	run := func(par int) ([]int64, int, int, string) {
+		sums, m, err := enginetest.RunRandomProgramEx(4, enginetest.ClusterSpec{}, engine.NewSparkMemDisk(), &cfg,
+			enginetest.RunOptions{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums, m.TaskRetries, m.FetchRetries, fmtRecovery(m.FaultRecoveryByClass)
+	}
+	s1, tr1, fr1, rec1 := run(1)
+	s8, tr8, fr8, rec8 := run(8)
+	if tr1 == 0 && fr1 == 0 {
+		t.Fatal("transient schedule never fired")
+	}
+	if !reflect.DeepEqual(s1, s8) || tr1 != tr8 || fr1 != fr8 || rec1 != rec8 {
+		t.Fatalf("P1 vs P8 diverged: (%v,%d,%d,%s) vs (%v,%d,%d,%s)",
+			s1, tr1, fr1, rec1, s8, tr8, fr8, rec8)
+	}
+}
+
+func fmtRecovery(m map[string]time.Duration) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%v;", k, m[k])
+	}
+	return b.String()
 }

@@ -129,9 +129,34 @@ type App struct {
 
 	// FaultRecoveryByClass attributes the same recovery work to the
 	// fault class that caused it ("exec", "block", "shuffle",
-	// "exec-death", "bucket"), so correlated per-machine loss can be
-	// priced separately from independent block loss.
+	// "exec-death", "bucket", "task-flake", "fetch-flake", "straggler"),
+	// so correlated per-machine loss can be priced separately from
+	// independent block loss and transient flakiness.
 	FaultRecoveryByClass map[string]time.Duration
+
+	// TaskRetries counts task attempts that failed transiently and were
+	// retried; FetchRetries counts transiently failed shuffle-fetch
+	// attempts; RetryBackoffTime is the virtual time those failed
+	// attempts consumed (wasted launch overhead plus exponential
+	// backoff).
+	TaskRetries      int
+	FetchRetries     int
+	RetryBackoffTime time.Duration
+
+	// SpeculativeLaunches counts speculative task copies launched
+	// against stragglers; SpeculativeWins the subset that finished
+	// before the straggling primary; StragglerSlowdownTime the extra
+	// virtual time straggler windows inflated task executions by (for
+	// won speculation races, the wasted primary time until the kill).
+	SpeculativeLaunches   int
+	SpeculativeWins       int
+	StragglerSlowdownTime time.Duration
+
+	// BlacklistedExecutors counts blacklist episodes: an executor
+	// crossing the retryable-failure threshold is skipped by the
+	// scheduler for a cooldown window. Its cache survives, unlike a
+	// death, and it is reinstated afterwards.
+	BlacklistedExecutors int
 
 	// ILPSolves and ILPNodes record optimizer activity for Blaze.
 	ILPSolves int
@@ -262,4 +287,57 @@ func (a *App) AddFaultRecoveryClass(class string, d time.Duration) {
 		a.FaultRecoveryByClass = make(map[string]time.Duration)
 	}
 	a.FaultRecoveryByClass[class] += d
+}
+
+// IncFaultInjected counts one injected fault (task path, locked —
+// transient faults fire inside tasks, unlike the boundary-injected
+// permanent classes which update FaultsInjected from the driver).
+func (a *App) IncFaultInjected() {
+	a.mu.Lock()
+	a.FaultsInjected++
+	a.mu.Unlock()
+}
+
+// AddTaskRetry counts one transiently failed task attempt and its wasted
+// virtual time (task path, locked).
+func (a *App) AddTaskRetry(d time.Duration) {
+	a.mu.Lock()
+	a.TaskRetries++
+	a.RetryBackoffTime += d
+	a.mu.Unlock()
+}
+
+// AddFetchRetry counts one transiently failed shuffle-fetch attempt and
+// its backoff (task path, locked).
+func (a *App) AddFetchRetry(d time.Duration) {
+	a.mu.Lock()
+	a.FetchRetries++
+	a.RetryBackoffTime += d
+	a.mu.Unlock()
+}
+
+// AddSpeculative counts one speculative task launch and whether the copy
+// beat the straggling primary.
+func (a *App) AddSpeculative(win bool) {
+	a.mu.Lock()
+	a.SpeculativeLaunches++
+	if win {
+		a.SpeculativeWins++
+	}
+	a.mu.Unlock()
+}
+
+// AddStragglerSlowdown accounts extra virtual time a straggler window
+// inflated task executions by (task path, locked).
+func (a *App) AddStragglerSlowdown(d time.Duration) {
+	a.mu.Lock()
+	a.StragglerSlowdownTime += d
+	a.mu.Unlock()
+}
+
+// IncBlacklisted counts one flaky-executor blacklist episode.
+func (a *App) IncBlacklisted() {
+	a.mu.Lock()
+	a.BlacklistedExecutors++
+	a.mu.Unlock()
 }
