@@ -98,6 +98,23 @@ func (r *Result) DiskFootprint() (written, peak int64) {
 	return r.Metrics.DiskBytesWritten, r.Metrics.DiskPeakBytes
 }
 
+// OptimizerActivity returns the run's optimizer accounting: solver
+// invocations, branch-and-bound (or knapsack search) nodes expanded,
+// degraded solves (knapsack relaxation of oversized instances, node
+// budget exhaustion) and solves answered from the cross-job solution
+// memo. Metrics.ILPSolveTime carries the wall-clock time spent inside
+// the solver.
+func (r *Result) OptimizerActivity() (solves, nodes, fallbacks, reused int) {
+	return r.Metrics.ILPSolves, r.Metrics.ILPNodes, r.Metrics.ILPFallbacks, r.Metrics.ILPReused
+}
+
+// MetricsEqualDeterministic reports whether two runs agree on every
+// deterministic metric. The optimizer's ILPSolveTime — the one
+// wall-clock field in Metrics — is excluded; identical schedules
+// legitimately differ on it across runs. This is the comparison the
+// parallel bit-identity invariant uses.
+func MetricsEqualDeterministic(a, b *Metrics) bool { return metrics.EqualDeterministic(a, b) }
+
 // ---------------------------------------------------------------------
 // Dataflow: build custom workloads against the public surface
 

@@ -20,6 +20,7 @@ import (
 
 	"blaze"
 	"blaze/harness"
+	"blaze/internal/ilp"
 )
 
 // parallelEntry is one row of the parallel speedup benchmark.
@@ -110,6 +111,96 @@ func runParallelBench(path string, executors int, scale float64) {
 	fmt.Printf("(%d cores; report written to %s)\n", cores, path)
 }
 
+// ilpEntry is one instance size of the optimizer benchmark.
+type ilpEntry struct {
+	Parts     int     `json:"parts"`
+	Vars      int     `json:"vars"`
+	BoundedMs float64 `json:"bounded_ms"`
+	Nodes     int     `json:"nodes"`
+	Optimal   bool    `json:"optimal"`
+	DenseMs   float64 `json:"dense_ms,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+}
+
+type ilpReport struct {
+	Entries []ilpEntry `json:"entries"`
+	Note    string     `json:"note"`
+}
+
+// runILPBench benchmarks the exact optimizer on the shared Blaze-shaped
+// instances (ilp.BenchProblem): wall time and branch-and-bound nodes of
+// the bounded-variable warm-started solver at n ∈ {16, 32, 128, 256}
+// partitions, against the dense reference solver where it is still
+// tractable (n ≤ 32). The JSON report mirrors BENCH_parallel.json and
+// feeds the CI smoke job.
+func runILPBench(path string) {
+	rep := ilpReport{
+		Note: "bounded = bounded-variable simplex with warm-started branch and bound; dense = pre-rewrite reference solver (internal/ilp/dense.go), run only at sizes where it is tractable",
+	}
+	for _, parts := range []int{16, 32, 128, 256} {
+		prob := ilp.BenchProblem(parts, int64(parts))
+		reps := 3
+		if parts > 32 {
+			reps = 1
+		}
+		var sol ilp.Solution
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			s, err := ilp.Solve(prob, ilp.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blazebench: ilp n=%d: %v\n", parts, err)
+				os.Exit(1)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			sol = s
+		}
+		e := ilpEntry{
+			Parts:     parts,
+			Vars:      3 * parts,
+			BoundedMs: float64(best.Microseconds()) / 1000,
+			Nodes:     sol.Nodes,
+			Optimal:   sol.Optimal,
+		}
+		if parts <= 32 {
+			dBest := time.Duration(1<<63 - 1)
+			for i := 0; i < reps; i++ {
+				start := time.Now()
+				if _, err := ilp.ReferenceSolve(prob, ilp.Options{}); err != nil {
+					fmt.Fprintf(os.Stderr, "blazebench: dense ilp n=%d: %v\n", parts, err)
+					os.Exit(1)
+				}
+				if d := time.Since(start); d < dBest {
+					dBest = d
+				}
+			}
+			e.DenseMs = float64(dBest.Microseconds()) / 1000
+			e.Speedup = float64(dBest) / float64(best)
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Entries {
+		line := fmt.Sprintf("n=%-4d vars=%-4d bounded %9.2fms  nodes %6d  optimal %v",
+			e.Parts, e.Vars, e.BoundedMs, e.Nodes, e.Optimal)
+		if e.DenseMs > 0 {
+			line += fmt.Sprintf("  dense %9.2fms  speedup %.2fx", e.DenseMs, e.Speedup)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("(report written to %s)\n", path)
+}
+
 // runFaultBench runs every end-to-end system on one workload under the
 // fault schedule and resilience knobs, printing a per-system table of
 // completion time and the resilience counters — the CLI view of the
@@ -167,6 +258,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "input scale factor for every workload")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	parallel := flag.String("parallel", "", "run the multi-core speedup benchmark and write the JSON report to this path")
+	ilpPath := flag.String("ilp", "", "run the exact-optimizer benchmark and write the JSON report to this path")
 	faultSpec := flag.String("faults", "", "run the fault soak instead of figures: comma-separated classes (exec, block, shuffle, exec-death, bucket, task-flake, fetch-flake, straggler, permanent, transient, all)")
 	resSpec := flag.String("resilience", "", "resilience knobs for the fault soak: retries=3,fetch-retries=2,backoff=2ms,spec=2,blacklist=3,cooldown=2")
 	workload := flag.String("workload", "pr", "workload for the fault soak: pr, cc, lr, kmeans, gbt, svdpp")
@@ -175,6 +267,10 @@ func main() {
 
 	if *parallel != "" {
 		runParallelBench(*parallel, *executors, *scale)
+		return
+	}
+	if *ilpPath != "" {
+		runILPBench(*ilpPath)
 		return
 	}
 	if *faultSpec != "" {

@@ -122,8 +122,12 @@ func main() {
 	if m.BlacklistedExecutors > 0 {
 		fmt.Printf("blacklist         episodes=%d\n", m.BlacklistedExecutors)
 	}
+	// ILPSolveTime is wall-clock (the one nondeterministic metric) and
+	// deliberately not printed: blazerun's stdout must be bit-identical
+	// across repeated runs.
 	if m.ILPSolves > 0 {
-		fmt.Printf("ILP               solves=%d nodes=%d\n", m.ILPSolves, m.ILPNodes)
+		fmt.Printf("ILP               solves=%d nodes=%d fallbacks=%d reused=%d\n",
+			m.ILPSolves, m.ILPNodes, m.ILPFallbacks, m.ILPReused)
 	}
 	if log != nil {
 		f, err := os.Create(*events)

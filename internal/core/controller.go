@@ -81,6 +81,14 @@ type Controller struct {
 	// at (§5.5 uses 1 — "the current job and its successive job" — to
 	// keep the solve under its latency budget).
 	ilpWindow int
+
+	// ilpMemo caches recent optimizer solutions per executor for
+	// cross-job reuse: iterative workloads resubmit near-identical
+	// candidate sets every job, so a solve whose fingerprint matches a
+	// cached exact solution is answered without searching, and a
+	// near-match seeds the branch and bound with the previous assignment
+	// as its incumbent. Indexed by executor ID; driver-context only.
+	ilpMemo []*solveMemo
 }
 
 // New creates a Blaze controller with explicit features (used by the
@@ -170,9 +178,11 @@ func (b *Controller) Bind(c *engine.Cluster) {
 	n := len(c.Executors())
 	b.perEst = make([]*Estimator, n)
 	b.accessed = make([]map[storage.BlockID]bool, n)
+	b.ilpMemo = make([]*solveMemo, n)
 	for i := 0; i < n; i++ {
 		b.perEst[i] = b.newEstimator(c)
 		b.accessed[i] = make(map[storage.BlockID]bool)
+		b.ilpMemo[i] = &solveMemo{}
 	}
 }
 

@@ -578,6 +578,12 @@ func (c *Cluster) Metrics() *metrics.App { return c.met }
 // boundaries).
 func (c *Cluster) ShuffleComplete(shuffleID int) bool { return c.shuffle.Complete(shuffleID) }
 
+// EmitEvent appends a driver-context event to the attached log (a no-op
+// without one). Controllers use it to record decisions made at
+// scheduling boundaries — e.g. the optimizer's per-solve ILPSolve
+// events — where no task trace is active.
+func (c *Cluster) EmitEvent(e eventlog.Event) { c.emit(e) }
+
 // emit appends an event to the attached log, stamping the dataset name.
 // Driver-context events only; task-context emissions go through emitEx.
 func (c *Cluster) emit(e eventlog.Event) {

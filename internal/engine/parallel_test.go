@@ -7,6 +7,7 @@ import (
 	"blaze/internal/costmodel"
 	"blaze/internal/dataflow"
 	"blaze/internal/eventlog"
+	"blaze/internal/metrics"
 )
 
 // runIterative executes the PageRank-shaped workload under one
@@ -59,7 +60,7 @@ func TestParallelSequentialIdentityEngine(t *testing.T) {
 			seqLog, parLog := eventlog.New(), eventlog.New()
 			seq := runIterative(t, b.ctl(), 1, seqLog)
 			par := runIterative(t, b.ctl(), 8, parLog)
-			if !reflect.DeepEqual(seq.Metrics(), par.Metrics()) {
+			if !metrics.EqualDeterministic(seq.Metrics(), par.Metrics()) {
 				t.Errorf("metrics differ:\nseq: %+v\npar: %+v", seq.Metrics(), par.Metrics())
 			}
 			if !reflect.DeepEqual(seqLog.Events(), parLog.Events()) {

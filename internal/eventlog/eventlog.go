@@ -72,6 +72,13 @@ const (
 	// ExecutorReinstated records a blacklisted executor rejoining the
 	// scheduling pool after its cooldown expired.
 	ExecutorReinstated Kind = "executor_reinstated"
+	// ILPSolve records one optimizer invocation at a job boundary:
+	// Executor scopes the per-executor model, Vars the decision-variable
+	// count, Nodes the search nodes expanded, Optimal whether the result
+	// is a proven optimum, Fallback whether the solve degraded (knapsack
+	// relaxation or budget exhaustion), and Reused whether the answer
+	// came from the cross-job solution memo without searching.
+	ILPSolve Kind = "ilp_solve"
 )
 
 // Event is one log record. Fields are populated according to Kind; zero
@@ -113,6 +120,14 @@ type Event struct {
 	// Factor is the slowdown multiplier on straggler FaultInjected
 	// events.
 	Factor float64 `json:"factor,omitempty"`
+	// Vars and Nodes carry the model size and search effort on ILPSolve
+	// events; Optimal, Fallback and Reused classify the outcome (proven
+	// optimum, degraded solve, memo hit).
+	Vars     int  `json:"vars,omitempty"`
+	Nodes    int  `json:"nodes,omitempty"`
+	Optimal  bool `json:"optimal,omitempty"`
+	Fallback bool `json:"fallback,omitempty"`
+	Reused   bool `json:"reused,omitempty"`
 }
 
 // Log is an in-memory, append-only event log.
@@ -189,6 +204,12 @@ type JobSummary struct {
 	Speculative     int
 	SpeculativeWins int
 	Blacklisted     int
+	// ILPSolves, ILPNodes and ILPFallbacks aggregate the job's optimizer
+	// activity; ILPReused counts solves answered from the cross-job memo.
+	ILPSolves    int
+	ILPNodes     int
+	ILPFallbacks int
+	ILPReused    int
 }
 
 // DatasetSummary aggregates one dataset's cache lifecycle.
@@ -286,6 +307,16 @@ func Summarize(l *Log) *Summary {
 			j := job(cur)
 			j.Recoveries++
 			j.RecoveryTime += e.Cost
+		case ILPSolve:
+			j := job(e.Job)
+			j.ILPSolves++
+			j.ILPNodes += e.Nodes
+			if e.Fallback {
+				j.ILPFallbacks++
+			}
+			if e.Reused {
+				j.ILPReused++
+			}
 		}
 	}
 	for _, id := range order {

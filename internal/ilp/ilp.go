@@ -22,8 +22,9 @@ type Solution struct {
 	X []int
 	// Objective is C·X.
 	Objective float64
-	// Optimal reports whether the solution is provably optimal. It is
-	// false when the node budget was exhausted and the incumbent is only
+	// Optimal reports whether the solution is provably optimal: the
+	// branch-and-bound search ran to exhaustion. It is false only when
+	// the node budget truncated the search and the incumbent is merely
 	// the best solution found so far.
 	Optimal bool
 	// Nodes counts branch-and-bound nodes explored.
@@ -37,14 +38,31 @@ type Options struct {
 	// Optimal=false, mirroring how Blaze bounds ILP latency (§5.5 keeps
 	// the solve under a performance boundary).
 	MaxNodes int
+	// Incumbent optionally seeds the search with a known assignment
+	// (e.g. the previous job's solution to a near-identical problem).
+	// It is validated against the constraints and ignored if infeasible
+	// or mis-sized; a feasible seed makes pruning strong from the first
+	// node, which is the point of cross-job solution reuse.
+	Incumbent []int
 }
 
 // ErrInfeasible is returned when no binary assignment satisfies the
 // constraints.
 var ErrInfeasible = errors.New("ilp: problem is infeasible")
 
-// Solve finds a minimum-cost binary assignment by branch and bound on the
-// LP relaxation.
+// errNodeBudget is returned when the node budget ran out before any
+// feasible assignment (seeded or discovered) existed.
+var errNodeBudget = errors.New("ilp: node budget exhausted before any feasible solution")
+
+// Solve finds a minimum-cost binary assignment by branch and bound on
+// the LP relaxation.
+//
+// Unlike the dense reference (ReferenceSolve), the entire search shares
+// one bounded-variable simplex workspace: branching fixes a variable by
+// shrinking its box to [v,v] in place, the child starts from the parent
+// basis, and backtracking restores the box — no per-node problem
+// reconstruction, no tableau rebuild unless the inherited basis turns
+// primal infeasible.
 func Solve(p Problem, opts Options) (Solution, error) {
 	n := len(p.C)
 	maxNodes := opts.MaxNodes
@@ -52,159 +70,179 @@ func Solve(p Problem, opts Options) (Solution, error) {
 		maxNodes = 100000
 	}
 	best := Solution{Objective: math.Inf(1)}
-	nodes := 0
-
-	// fixed[i]: -1 free, 0 or 1 fixed by branching.
-	type node struct {
-		fixed []int8
-	}
-	start := node{fixed: make([]int8, n)}
-	for i := range start.fixed {
-		start.fixed[i] = -1
-	}
-	stack := []node{start}
-
-	for len(stack) > 0 && nodes < maxNodes {
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		nodes++
-
-		x, lb, status := solveFixedLP(p, nd.fixed)
-		if status == LPInfeasible {
-			continue
-		}
-		if status == LPUnbounded {
-			// With all variables in [0,1] the LP cannot be unbounded;
-			// treat defensively as a dead end.
-			continue
-		}
-		if lb >= best.Objective-1e-9 {
-			continue // prune: cannot improve the incumbent
-		}
-		// Find the most fractional variable.
-		branch := -1
-		bestFrac := 0.0
-		for i, v := range x {
-			f := math.Abs(v - math.Round(v))
-			if f > 1e-6 && f > bestFrac {
-				bestFrac = f
-				branch = i
-			}
-		}
-		if branch == -1 {
-			// Integer solution: new incumbent.
-			xi := make([]int, n)
-			for i, v := range x {
-				xi[i] = int(math.Round(v))
-			}
-			obj := 0.0
-			for i, v := range xi {
-				obj += p.C[i] * float64(v)
-			}
-			if obj < best.Objective {
-				best = Solution{X: xi, Objective: obj, Optimal: true}
-			}
-			continue
-		}
-		// Branch: explore the rounded side first (DFS finds good
-		// incumbents quickly, which strengthens pruning).
-		near := int8(math.Round(x[branch]))
-		for _, v := range []int8{1 - near, near} {
-			child := node{fixed: append([]int8(nil), nd.fixed...)}
-			child.fixed[branch] = v
-			stack = append(stack, child)
-		}
-	}
-
-	best.Nodes = nodes
-	if math.IsInf(best.Objective, 1) {
-		if nodes >= maxNodes {
-			return Solution{Nodes: nodes}, errors.New("ilp: node budget exhausted before any feasible solution")
-		}
-		return Solution{Nodes: nodes}, ErrInfeasible
-	}
-	best.Optimal = best.Optimal && nodes < maxNodes
-	return best, nil
-}
-
-// solveFixedLP solves the LP relaxation with some variables fixed by
-// branching. Fixed variables are substituted out of the problem.
-func solveFixedLP(p Problem, fixed []int8) (x []float64, obj float64, status LPStatus) {
-	n := len(p.C)
-	freeIdx := make([]int, 0, n)
-	for i, f := range fixed {
-		if f == -1 {
-			freeIdx = append(freeIdx, i)
-		}
-	}
-	if len(freeIdx) == n {
-		return solveLP(p.C, p.Constraints)
-	}
-	// Reduced problem over free variables.
-	cr := make([]float64, len(freeIdx))
-	baseObj := 0.0
-	for i, f := range fixed {
-		if f == 1 {
-			baseObj += p.C[i]
-		}
-	}
-	for j, i := range freeIdx {
-		cr[j] = p.C[i]
-	}
-	consr := make([]Constraint, 0, len(p.Constraints))
-	for _, con := range p.Constraints {
-		rhs := con.RHS
-		coeffs := make([]float64, len(freeIdx))
-		for i, f := range fixed {
-			if f == 1 {
-				rhs -= con.Coeffs[i]
-			}
-		}
-		for j, i := range freeIdx {
-			coeffs[j] = con.Coeffs[i]
-		}
-		// A constraint with no free variables is either trivially
-		// satisfied or proves infeasibility.
-		allZero := true
-		for _, c := range coeffs {
-			if c != 0 {
-				allZero = false
+	if len(opts.Incumbent) == n && n > 0 {
+		ok := true
+		for _, v := range opts.Incumbent {
+			if v != 0 && v != 1 {
+				ok = false
 				break
 			}
 		}
-		if allZero {
-			switch con.Rel {
-			case LE:
-				if rhs < -1e-9 {
-					return nil, 0, LPInfeasible
-				}
-			case GE:
-				if rhs > 1e-9 {
-					return nil, 0, LPInfeasible
-				}
-			case EQ:
-				if math.Abs(rhs) > 1e-9 {
-					return nil, 0, LPInfeasible
+		if ok && feasible(p, opts.Incumbent) {
+			obj := 0.0
+			for i, v := range opts.Incumbent {
+				obj += p.C[i] * float64(v)
+			}
+			best = Solution{X: append([]int(nil), opts.Incumbent...), Objective: obj}
+		}
+	}
+
+	w := newWorkspace(p)
+	if w == nil {
+		return Solution{}, ErrInfeasible
+	}
+	nodes := 0
+	truncated := false
+	x := make([]float64, n)
+	// rcFixed is the undo stack for reduced-cost fixing: columns this
+	// search pinned to one bound because the LP duals prove the other
+	// bound cannot beat the incumbent.
+	var rcFixed []int
+
+	var dfs func()
+	dfs = func() {
+		if truncated {
+			return
+		}
+		if nodes >= maxNodes {
+			truncated = true
+			return
+		}
+		nodes++
+
+		st := w.solveCurrent()
+		switch st {
+		case wsInfeasible:
+			return
+		case wsUnbounded:
+			// With every structural variable boxed in [0,1] the LP
+			// cannot truly be unbounded; treat defensively as a dead
+			// end, like the dense solver.
+			return
+		}
+		stuck := st == wsStuck
+		branch := -1
+		rcMark := len(rcFixed)
+		if !stuck {
+			w.extractX(x)
+			lb := w.objValue(x)
+			if lb >= best.Objective-1e-9 {
+				return // prune: cannot improve the incumbent
+			}
+			// Reduced-cost fixing: with incumbent value U and LP bound
+			// L, any integer solution that moves nonbasic j off its
+			// bound costs at least L + |d_j|, so |d_j| > U - L pins j
+			// for this whole subtree. This is what keeps the tree
+			// small at n in the hundreds; the pins are undone when the
+			// node unwinds.
+			if gap := best.Objective - 1e-9 - lb; !math.IsInf(gap, 1) {
+				for j := 0; j < n; j++ {
+					if w.colRow[j] >= 0 || w.lo[j] >= w.hi[j] {
+						continue
+					}
+					if d := w.obj[j]; !w.atUpper[j] && d > gap {
+						w.setBounds(j, w.lo[j], w.lo[j])
+						rcFixed = append(rcFixed, j)
+					} else if w.atUpper[j] && -d > gap {
+						w.setBounds(j, w.hi[j], w.hi[j])
+						rcFixed = append(rcFixed, j)
+					}
 				}
 			}
-			continue
+			// Branch on the most fractional free variable.
+			bestFrac := 0.0
+			for j := 0; j < n; j++ {
+				if w.lo[j] >= w.hi[j] {
+					continue
+				}
+				f := math.Abs(x[j] - math.Round(x[j]))
+				if f > 1e-6 && f > bestFrac {
+					bestFrac = f
+					branch = j
+				}
+			}
+		} else {
+			// The relaxation did not converge, so there is no bound to
+			// prune with and no fractional point to guide branching:
+			// branch on the first free variable and keep searching —
+			// exactness is preserved, only pruning is lost here.
+			for j := 0; j < n; j++ {
+				if w.lo[j] < w.hi[j] {
+					branch = j
+					break
+				}
+			}
 		}
-		consr = append(consr, Constraint{Coeffs: coeffs, Rel: con.Rel, RHS: rhs})
-	}
-	xr, objr, st := solveLP(cr, consr)
-	if st != LPOptimal {
-		return nil, 0, st
-	}
-	x = make([]float64, n)
-	for i, f := range fixed {
-		if f == 1 {
-			x[i] = 1
+
+		if branch == -1 {
+			// Every variable is integral (or fixed): candidate incumbent.
+			xi := make([]int, n)
+			if stuck {
+				// All fixed but the LP was stuck: evaluate the forced
+				// assignment directly.
+				for j := 0; j < n; j++ {
+					xi[j] = int(math.Round(w.lo[j]))
+				}
+				if feasible(p, xi) {
+					obj := 0.0
+					for j, v := range xi {
+						obj += p.C[j] * float64(v)
+					}
+					if obj < best.Objective {
+						best = Solution{X: xi, Objective: obj}
+					}
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					xi[j] = int(math.Round(x[j]))
+				}
+				obj := 0.0
+				for j, v := range xi {
+					obj += p.C[j] * float64(v)
+				}
+				if obj < best.Objective {
+					best = Solution{X: xi, Objective: obj}
+				}
+			}
+		} else {
+			// Explore the rounded side first: DFS finds good incumbents
+			// quickly, which strengthens pruning.
+			near := 1
+			if !stuck && math.Round(x[branch]) == 0 {
+				near = 0
+			}
+			for _, v := range []int{near, 1 - near} {
+				fv := float64(v)
+				w.setBounds(branch, fv, fv)
+				dfs()
+				w.setBounds(branch, 0, 1)
+				if truncated {
+					break
+				}
+			}
+		}
+
+		// Unwind this node's reduced-cost pins.
+		for len(rcFixed) > rcMark {
+			j := rcFixed[len(rcFixed)-1]
+			rcFixed = rcFixed[:len(rcFixed)-1]
+			w.setBounds(j, 0, 1)
 		}
 	}
-	for j, i := range freeIdx {
-		x[i] = xr[j]
+	dfs()
+
+	best.Nodes = nodes
+	if math.IsInf(best.Objective, 1) {
+		if truncated {
+			return Solution{Nodes: nodes}, errNodeBudget
+		}
+		return Solution{Nodes: nodes}, ErrInfeasible
 	}
-	return x, baseObj + objr, LPOptimal
+	// Optimality is exactly search exhaustion. (The old solver keyed
+	// this off nodes < maxNodes, wrongly reporting a completed search as
+	// truncated when the stack emptied on the budget's last node.)
+	best.Optimal = !truncated
+	return best, nil
 }
 
 // BruteForce enumerates all 2^n assignments and returns the optimum. It
@@ -263,17 +301,28 @@ func feasible(p Problem, x []int) bool {
 }
 
 // Knapsack solves the 0/1 knapsack problem exactly: choose items
-// maximizing total value with total weight <= capacity. It uses the
-// classic Horowitz-Sahni branch and bound with a fractional upper bound.
+// maximizing total value with total weight <= capacity. See
+// KnapsackSearch for the mechanics; this wrapper keeps the original
+// two-value signature for callers that do not need the search counters.
+func Knapsack(values, weights []float64, capacity float64) (chosen []bool, total float64) {
+	chosen, total, _, _ = KnapsackSearch(values, weights, capacity)
+	return chosen, total
+}
+
+// KnapsackSearch is Knapsack plus accounting: it additionally reports
+// the number of branch-and-bound nodes explored and whether the search
+// ran to exhaustion (exact=true) or was truncated by the node budget.
+// It uses the classic Horowitz-Sahni branch and bound with a fractional
+// upper bound.
 //
 // This is the fast path for the Blaze ILP when disk capacity is abundant
 // (the paper's default, §5.5): keeping partition p in memory saves its
 // potential recovery cost min(cost_d, cost_r), so the optimal memory set
 // maximizes saved cost subject to the memory capacity — a knapsack.
-func Knapsack(values, weights []float64, capacity float64) (chosen []bool, total float64) {
+func KnapsackSearch(values, weights []float64, capacity float64) (chosen []bool, total float64, searchNodes int, exact bool) {
 	n := len(values)
 	if n == 0 || capacity < 0 {
-		return make([]bool, n), 0
+		return make([]bool, n), 0, 0, true
 	}
 	type item struct {
 		v, w float64
@@ -313,7 +362,7 @@ func Knapsack(values, weights []float64, capacity float64) (chosen []bool, total
 				total += values[i]
 			}
 		}
-		return chosen, total
+		return chosen, total, 0, true
 	}
 
 	// upper bound from position k with remaining capacity rem.
@@ -377,5 +426,5 @@ func Knapsack(values, weights []float64, capacity float64) (chosen []bool, total
 			total += items[k].v
 		}
 	}
-	return chosen, total
+	return chosen, total, nodes, nodes <= nodeBudget
 }

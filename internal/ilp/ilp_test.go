@@ -269,6 +269,174 @@ func TestKnapsackEmpty(t *testing.T) {
 	}
 }
 
+// Regression for the truncation-flag bug: the old solver reported
+// Optimal = nodes < maxNodes, so a search that ran to exhaustion using
+// exactly its node budget was wrongly reported as truncated. Optimality
+// must depend on whether unexplored work remained, not the counter.
+func TestSolveOptimalAtExactNodeBudget(t *testing.T) {
+	p := Problem{
+		C: []float64{-3, -4, -5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{2, 3, 4}, Rel: LE, RHS: 4},
+		},
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Optimal || s.Nodes < 2 {
+		t.Fatalf("baseline solve: optimal=%v nodes=%d, want an exhausted multi-node search", s.Optimal, s.Nodes)
+	}
+	// Re-run with the budget set to exactly the nodes the search needs:
+	// it completes on the last allowed node and must still be optimal.
+	s2, err := Solve(p, Options{MaxNodes: s.Nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Optimal {
+		t.Fatalf("search completed exactly at the node budget but was reported truncated (nodes=%d)", s2.Nodes)
+	}
+	if math.Abs(s2.Objective-s.Objective) > 1e-9 {
+		t.Fatalf("objective changed under exact budget: %v vs %v", s2.Objective, s.Objective)
+	}
+	// One node short must be reported as truncated (when a feasible
+	// incumbent was still found).
+	if s3, err := Solve(p, Options{MaxNodes: s.Nodes - 1}); err == nil && s3.Optimal {
+		t.Fatalf("truncated search (%d of %d nodes) claimed optimality", s3.Nodes, s.Nodes)
+	}
+}
+
+// A feasible incumbent seed lets a budget-starved solve return that
+// incumbent instead of failing, and never degrades the final answer.
+func TestSolveIncumbentSeed(t *testing.T) {
+	p := Problem{
+		C: []float64{0, 50, 100, 0, 5, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 1, 0, 0, 0}, Rel: EQ, RHS: 1},
+			{Coeffs: []float64{0, 0, 0, 1, 1, 1}, Rel: EQ, RHS: 1},
+			{Coeffs: []float64{10, 0, 0, 10, 0, 0}, Rel: LE, RHS: 10},
+		},
+	}
+	// Budget starvation with a fractional root relaxation: the seed is
+	// all the solver has, and it must hand it back untouched.
+	frac := Problem{
+		C: []float64{-3, -4, -5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{2, 3, 4}, Rel: LE, RHS: 4},
+		},
+	}
+	s, err := Solve(frac, Options{MaxNodes: 1, Incumbent: []int{1, 0, 0}})
+	if err != nil {
+		t.Fatalf("seeded budget-starved solve failed: %v", err)
+	}
+	if s.Optimal {
+		t.Fatal("truncated seeded solve claimed optimality")
+	}
+	if s.Objective > -3+1e-9 {
+		t.Fatalf("seeded solve returned %v, worse than its own seed (-3, feasible under RHS 4)", s.Objective)
+	}
+	// With a full budget the optimum (2: keep p1 in memory, unpersist
+	// p2) must be found regardless of the seed.
+	seed := []int{0, 1, 0, 0, 0, 1} // feasible, objective 52
+	s, err = Solve(p, Options{Incumbent: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Optimal || math.Abs(s.Objective-2) > 1e-9 {
+		t.Fatalf("seeded full solve: optimal=%v obj=%v, want optimal obj=2", s.Optimal, s.Objective)
+	}
+	// An optimal seed makes pruning immediate: the search proves
+	// optimality without re-deriving the assignment.
+	s2, err := Solve(p, Options{Incumbent: s.X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Optimal || math.Abs(s2.Objective-2) > 1e-9 {
+		t.Fatalf("optimally-seeded solve: optimal=%v obj=%v", s2.Optimal, s2.Objective)
+	}
+	if s2.Nodes > s.Nodes {
+		t.Fatalf("optimal seed explored more nodes (%d) than unseeded (%d)", s2.Nodes, s.Nodes)
+	}
+}
+
+// Infeasible or malformed incumbents are ignored, never trusted.
+func TestSolveIncumbentRejected(t *testing.T) {
+	p := Problem{
+		C: []float64{-3, -4, -5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{2, 3, 4}, Rel: LE, RHS: 5},
+		},
+	}
+	for _, seed := range [][]int{
+		{1, 1, 1},    // violates the capacity row
+		{0, 2, 0},    // not binary
+		{1},          // wrong arity
+		{0, 0, 0, 0}, // wrong arity
+	} {
+		s, err := Solve(p, Options{Incumbent: seed})
+		if err != nil {
+			t.Fatalf("seed %v: %v", seed, err)
+		}
+		if !s.Optimal || math.Abs(s.Objective-(-7)) > 1e-6 {
+			t.Fatalf("seed %v corrupted the solve: optimal=%v obj=%v", seed, s.Optimal, s.Objective)
+		}
+		if !feasible(p, s.X) {
+			t.Fatalf("seed %v leaked an infeasible assignment %v", seed, s.X)
+		}
+	}
+}
+
+// KnapsackSearch reports its search effort; the wrapper stays equal.
+func TestKnapsackSearchAccounting(t *testing.T) {
+	values := []float64{27, 2, 48, 1, 49, 28, 30, 33}
+	weights := []float64{3, 4, 8, 8, 6, 6, 2, 5}
+	chosen, total, nodes, exact := KnapsackSearch(values, weights, 7)
+	if !exact {
+		t.Fatal("small knapsack reported truncated search")
+	}
+	if nodes <= 0 {
+		t.Fatalf("nontrivial knapsack reported %d nodes", nodes)
+	}
+	c2, t2 := Knapsack(values, weights, 7)
+	if total != t2 {
+		t.Fatalf("wrapper total %v != search total %v", t2, total)
+	}
+	for i := range chosen {
+		if chosen[i] != c2[i] {
+			t.Fatalf("wrapper selection differs at %d", i)
+		}
+	}
+	// All-fits fast path: no search at all.
+	_, _, nodes, exact = KnapsackSearch([]float64{1, 2}, []float64{1, 1}, 10)
+	if nodes != 0 || !exact {
+		t.Fatalf("trivial knapsack: nodes=%d exact=%v, want 0/true", nodes, exact)
+	}
+}
+
+// The bounded solver must match the dense reference node-for-node on
+// problems both solve to optimality (same pruning rule, same branch
+// order), proving the rewrite changed the algebra, not the search.
+func TestSolveMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(9)
+		m := 1 + rng.Intn(3)
+		p := randomProblem(rng, n, m)
+		got, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref, err := ReferenceSolve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d reference: %v", trial, err)
+		}
+		if math.Abs(got.Objective-ref.Objective) > 1e-6 {
+			t.Fatalf("trial %d: bounded obj %v != dense obj %v\nproblem %+v",
+				trial, got.Objective, ref.Objective, p)
+		}
+	}
+}
+
 func TestLPStatusString(t *testing.T) {
 	if LPOptimal.String() != "optimal" || LPInfeasible.String() != "infeasible" || LPUnbounded.String() != "unbounded" {
 		t.Fatal("status strings wrong")

@@ -7,6 +7,7 @@
 package metrics
 
 import (
+	"reflect"
 	"sync"
 	"time"
 )
@@ -158,9 +159,24 @@ type App struct {
 	// death, and it is reinstated afterwards.
 	BlacklistedExecutors int
 
-	// ILPSolves and ILPNodes record optimizer activity for Blaze.
-	ILPSolves int
-	ILPNodes  int
+	// ILPSolves and ILPNodes record optimizer activity for Blaze: solver
+	// invocations and branch-and-bound (or knapsack search) nodes
+	// expanded. ILPFallbacks counts solves that could not produce an
+	// exact optimum — oversized instances routed to the knapsack
+	// relaxation, node-budget exhaustion, infeasible models — and
+	// ILPReused counts solves answered entirely from the cross-job
+	// solution memo without running the solver.
+	ILPSolves    int
+	ILPNodes     int
+	ILPFallbacks int
+	ILPReused    int
+
+	// ILPSolveTime is the real (wall-clock) time spent inside the
+	// optimizer. Unlike every other duration in App it is not virtual
+	// time: identical schedules legitimately report different values
+	// across runs, so determinism checks must compare through
+	// EqualDeterministic, which ignores it.
+	ILPSolveTime time.Duration
 
 	// ProfilingTime is the virtual time spent in Blaze's dependency
 	// extraction phase, included in the ACT per §7.2.
@@ -340,4 +356,18 @@ func (a *App) IncBlacklisted() {
 	a.mu.Lock()
 	a.BlacklistedExecutors++
 	a.mu.Unlock()
+}
+
+// EqualDeterministic reports whether two finished runs agree on every
+// deterministic metric. ILPSolveTime is the one wall-clock field in App
+// — identical schedules legitimately differ on it across runs and
+// machines — so it is excluded; all other fields must match exactly.
+// Call only after both runs have finished: it reads and briefly rewrites
+// the excluded field without locking, like direct post-run field access.
+func EqualDeterministic(a, b *App) bool {
+	at, bt := a.ILPSolveTime, b.ILPSolveTime
+	a.ILPSolveTime, b.ILPSolveTime = 0, 0
+	eq := reflect.DeepEqual(a, b)
+	a.ILPSolveTime, b.ILPSolveTime = at, bt
+	return eq
 }

@@ -2,7 +2,6 @@ package blaze_test
 
 import (
 	"fmt"
-	"reflect"
 	"testing"
 
 	"blaze"
@@ -40,7 +39,7 @@ func runIdentity(t *testing.T, sys blaze.SystemID, wl blaze.WorkloadID, par int,
 
 func assertIdentical(t *testing.T, label string, seqRes, parRes *blaze.Result, seqLog, parLog *blaze.EventLog) {
 	t.Helper()
-	if !reflect.DeepEqual(seqRes.Metrics, parRes.Metrics) {
+	if !blaze.MetricsEqualDeterministic(seqRes.Metrics, parRes.Metrics) {
 		t.Errorf("%s: metrics differ between sequential and parallel execution\nseq: %+v\npar: %+v",
 			label, seqRes.Metrics, parRes.Metrics)
 	}
