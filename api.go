@@ -115,6 +115,18 @@ func (r *Result) OptimizerActivity() (solves, nodes, fallbacks, reused int) {
 // parallel bit-identity invariant uses.
 func MetricsEqualDeterministic(a, b *Metrics) bool { return metrics.EqualDeterministic(a, b) }
 
+// StorageMeasurement is the measured storage work of a RealBytes run:
+// per-category operation counts, real serialized bytes, wall-clock time
+// and the virtual time the cost model charged for the same operations
+// (fields MemEncode, MemDecode, DiskWrite, DiskRead of type
+// StorageOpStats), plus decode-cache hits and the real block-file
+// footprint. See Result.Storage.
+type StorageMeasurement = storage.MeterSnapshot
+
+// StorageOpStats aggregates one category of measured storage work; its
+// Ratio method returns measured wall time over modeled virtual time.
+type StorageOpStats = storage.OpStats
+
 // ---------------------------------------------------------------------
 // Dataflow: build custom workloads against the public surface
 
@@ -134,6 +146,13 @@ type Record = dataflow.Record
 // Sized lets record value types report their in-memory footprint so the
 // cache sees realistic, skewed partition sizes.
 type Sized = storage.Sized
+
+// RegisterValueType registers a concrete record value type with the
+// partition codec (gob). Workloads registered via RegisterWorkload must
+// register every value type their cached datasets carry, or spills in
+// VerifyCodec and RealBytes runs will fail to encode; the built-in
+// workloads' types are pre-registered.
+func RegisterValueType(v any) { storage.RegisterValueType(v) }
 
 // NewContext creates an empty dataflow context to pass to a workload
 // builder.

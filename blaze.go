@@ -132,6 +132,14 @@ type RunConfig struct {
 	// like nil (the old -1 sentinel keeps working). Only meaningful for
 	// the Blaze systems.
 	ILPWindow *int
+	// RealBytes backs the storage tier with real bytes: memory blocks
+	// are gob-serialized buffers, disk blocks are files under a
+	// run-scoped temp directory (removed when Run returns), and the run
+	// measures its wall-clock (de)serialization and file I/O alongside
+	// the virtual-time charges. The virtual-time metrics and event log
+	// are bit-identical to a default-mode run; the measurements land in
+	// Result.Storage for modeled-vs-measured comparison.
+	RealBytes bool
 }
 
 // ILPWindow builds the RunConfig.ILPWindow value for an explicit window:
@@ -157,6 +165,11 @@ type Result struct {
 	Workload          WorkloadID
 	Metrics           *metrics.App
 	MemoryPerExecutor int64
+	// Storage holds the measured storage work of a RealBytes run —
+	// wall-clock (de)serialization and file I/O per category, next to
+	// the virtual time the cost model charged for the same operations.
+	// Nil unless RunConfig.RealBytes was set.
+	Storage *StorageMeasurement
 }
 
 // EvalParams returns the cost model used by the evaluation harness. The
@@ -292,10 +305,14 @@ func Run(cfg RunConfig) (*Result, error) {
 		EventLog:          cfg.EventLog,
 		Hook:              hook,
 		Resilience:        cfg.Resilience,
+		RealBytes:         cfg.RealBytes,
 	}, ctx)
 	if err != nil {
 		return nil, err
 	}
+	// Remove the run-scoped block-file directory even when the workload
+	// panics (RealBytes runs only; Close is a no-op otherwise).
+	defer cluster.Close()
 	if sys.profiled {
 		cluster.AddProfilingTime(core.DefaultProfilingOverhead)
 	}
@@ -306,7 +323,12 @@ func Run(cfg RunConfig) (*Result, error) {
 		spec.Plain(ctx, cfg.Scale)
 	}
 	m := cluster.Finish()
-	return &Result{System: cfg.System, Workload: cfg.Workload, Metrics: m, MemoryPerExecutor: mem}, nil
+	res := &Result{System: cfg.System, Workload: cfg.Workload, Metrics: m, MemoryPerExecutor: mem}
+	if meter := cluster.Meter(); meter != nil {
+		snap := StorageMeasurement(meter.Snapshot())
+		res.Storage = &snap
+	}
+	return res, nil
 }
 
 // systemSpec is the execution recipe buildSystem derives from a system

@@ -259,6 +259,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	parallel := flag.String("parallel", "", "run the multi-core speedup benchmark and write the JSON report to this path")
 	ilpPath := flag.String("ilp", "", "run the exact-optimizer benchmark and write the JSON report to this path")
+	storagePath := flag.String("storage", "", "run the real-bytes storage benchmark (measured vs modeled) and write the JSON report to this path")
 	faultSpec := flag.String("faults", "", "run the fault soak instead of figures: comma-separated classes (exec, block, shuffle, exec-death, bucket, task-flake, fetch-flake, straggler, permanent, transient, all)")
 	resSpec := flag.String("resilience", "", "resilience knobs for the fault soak: retries=3,fetch-retries=2,backoff=2ms,spec=2,blacklist=3,cooldown=2")
 	workload := flag.String("workload", "pr", "workload for the fault soak: pr, cc, lr, kmeans, gbt, svdpp")
@@ -271,6 +272,10 @@ func main() {
 	}
 	if *ilpPath != "" {
 		runILPBench(*ilpPath)
+		return
+	}
+	if *storagePath != "" {
+		runStorageBench(*storagePath, *scale)
 		return
 	}
 	if *faultSpec != "" {

@@ -1,0 +1,229 @@
+package main
+
+// The storage benchmark (-storage): runs real-bytes mode on inputs that
+// exceed cluster memory and reports measured wall-clock storage work
+// next to the virtual time the cost model charged for the same
+// operations — the reproduction's modeled-vs-measured experiment. The
+// realistic DefaultCostParams throughputs are used (NOT the scaled-down
+// EvalParams), so a ratio near 1 means the model's device speeds match
+// this machine; CI only asserts the ratio stays within a wide sanity
+// band, since container disks and CPUs vary widely.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"blaze"
+	"blaze/internal/costmodel"
+	"blaze/internal/dataflow"
+	"blaze/internal/datagen"
+)
+
+// Storage-soak input shape: incompressible blobs totalling ~6 MB at
+// scale 1, against a 4×256 KB cluster — the working set exceeds memory
+// 6×, so the run must spill, write real files, and read them back.
+const (
+	soakParts        = 32
+	soakBlobsPerPart = 4
+	soakBlobBytes    = 48 * 1024
+	soakSeed         = 7
+	soakIters        = 3
+
+	soakExecutors = 4
+	soakMemory    = 256 * 1024
+)
+
+// soakSpec derives the blob set for a scale factor.
+func soakSpec(scale float64) datagen.BlobSpec {
+	n := int(float64(soakParts*soakBlobsPerPart) * scale)
+	if n < soakParts {
+		n = soakParts
+	}
+	return datagen.BlobSpec{Seed: soakSeed, N: n, BlobBytes: soakBlobBytes}
+}
+
+// soakInputBytes sums the real payload sizes of the blob set.
+func soakInputBytes(scale float64) int64 {
+	spec := soakSpec(scale)
+	var total int64
+	for i := int64(0); i < int64(spec.N); i++ {
+		total += int64(spec.Size(i))
+	}
+	return total
+}
+
+// registerStorageSoak registers the "storagesoak" workload: a cached
+// blob dataset scanned repeatedly, so every iteration re-reads blocks
+// that no longer fit in memory (decode on memory hits, file reads on
+// spilled blocks).
+func registerStorageSoak() {
+	blaze.RegisterValueType([]byte{})
+	driver := func(ctx *dataflow.Context, scale float64) {
+		spec := soakSpec(scale)
+		blobs := ctx.Source("soak-blobs@0", soakParts, func(part int) []dataflow.Record {
+			var out []dataflow.Record
+			for i := int64(part); i < int64(spec.N); i += int64(soakParts) {
+				out = append(out, dataflow.Record{Key: i, Value: spec.Blob(i)})
+			}
+			return out
+		}).Cache()
+		for it := 0; it < soakIters; it++ {
+			sums := blobs.MapPartitions(fmt.Sprintf("soak-scan@%d", it), dataflow.OpLight,
+				func(part int, in []dataflow.Record) []dataflow.Record {
+					var total int64
+					for _, r := range in {
+						total += int64(len(r.Value.([]byte)))
+					}
+					return []dataflow.Record{{Key: int64(part), Value: total}}
+				})
+			sums.Count()
+		}
+		blobs.Unpersist()
+	}
+	if err := blaze.RegisterWorkload(blaze.WorkloadSpec{
+		ID:    "storagesoak",
+		Title: "StorageSoak",
+		Plain: driver,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// storageCategory is one row of a run's measured-vs-modeled table.
+type storageCategory struct {
+	Name       string  `json:"name"`
+	Ops        int     `json:"ops"`
+	Bytes      int64   `json:"bytes"`
+	MeasuredMs float64 `json:"measured_ms"`
+	ModeledMs  float64 `json:"modeled_ms"`
+	// Ratio is measured/modeled; 0 when the model charged nothing.
+	Ratio float64 `json:"ratio,omitempty"`
+}
+
+// calibratedParams reports the throughputs re-derived from this run's
+// measurements (costmodel.Params.Calibrated), in bytes/sec.
+type calibratedParams struct {
+	SerializeBps float64 `json:"serialize_bps"`
+	DiskReadBps  float64 `json:"disk_read_bps"`
+	DiskWriteBps float64 `json:"disk_write_bps"`
+}
+
+type storageEntry struct {
+	Workload        string            `json:"workload"`
+	System          string            `json:"system"`
+	ClusterMemBytes int64             `json:"cluster_mem_bytes"`
+	InputBytes      int64             `json:"input_bytes,omitempty"`
+	ExceedsMemory   bool              `json:"exceeds_memory"`
+	FilesWritten    int               `json:"files_written"`
+	FileBytesPeak   int64             `json:"file_bytes_peak"`
+	DecodeCacheHits int               `json:"decode_cache_hits"`
+	Categories      []storageCategory `json:"categories"`
+	Calibrated      *calibratedParams `json:"calibrated,omitempty"`
+}
+
+type storageReport struct {
+	Entries []storageEntry `json:"entries"`
+	Note    string         `json:"note"`
+}
+
+// storageRun executes one workload/system in real-bytes mode and folds
+// the meter snapshot into a report entry.
+func storageRun(wl blaze.WorkloadID, sys blaze.SystemID, scale float64, inputBytes, memPerExec int64) storageEntry {
+	params := blaze.DefaultCostParams()
+	res, err := blaze.Run(blaze.RunConfig{
+		System:            sys,
+		Workload:          wl,
+		Executors:         soakExecutors,
+		Scale:             scale,
+		MemoryPerExecutor: memPerExec,
+		CostParams:        params,
+		RealBytes:         true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %s/%s: %v\n", wl, sys, err)
+		os.Exit(1)
+	}
+	st := res.Storage
+	if st == nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %s/%s: RealBytes run returned no storage measurements\n", wl, sys)
+		os.Exit(1)
+	}
+	clusterMem := res.MemoryPerExecutor * int64(soakExecutors)
+	e := storageEntry{
+		Workload:        string(wl),
+		System:          string(sys),
+		ClusterMemBytes: clusterMem,
+		InputBytes:      inputBytes,
+		ExceedsMemory:   inputBytes > clusterMem,
+		FilesWritten:    st.FilesWritten,
+		FileBytesPeak:   st.FileBytesPeak,
+		DecodeCacheHits: st.DecodeCacheHits,
+	}
+	for _, c := range st.Categories() {
+		e.Categories = append(e.Categories, storageCategory{
+			Name:       c.Category.String(),
+			Ops:        c.Stats.Ops,
+			Bytes:      c.Stats.Bytes,
+			MeasuredMs: float64(c.Stats.Wall.Microseconds()) / 1000,
+			ModeledMs:  float64(c.Stats.Modeled.Microseconds()) / 1000,
+			Ratio:      c.Stats.Ratio(),
+		})
+	}
+	cal := params.Calibrated(costmodel.Observed{
+		SerializeBytes: st.MemEncode.Bytes + st.MemDecode.Bytes,
+		SerializeWall:  st.MemEncode.Wall + st.MemDecode.Wall,
+		DiskWriteBytes: st.DiskWrite.Bytes,
+		DiskWriteWall:  st.DiskWrite.Wall,
+		DiskReadBytes:  st.DiskRead.Bytes,
+		DiskReadWall:   st.DiskRead.Wall,
+	})
+	if cal.SerializeBps != params.SerializeBps || cal.DiskReadBps != params.DiskReadBps ||
+		cal.DiskWriteBps != params.DiskWriteBps {
+		e.Calibrated = &calibratedParams{
+			SerializeBps: cal.SerializeBps,
+			DiskReadBps:  cal.DiskReadBps,
+			DiskWriteBps: cal.DiskWriteBps,
+		}
+	}
+	return e
+}
+
+// runStorageBench runs the real-bytes storage experiment and writes the
+// JSON report: the out-of-core storage soak plus two evaluation
+// workloads (PR under MRD exercises the promote/prefetch path, SVD++
+// carries the heaviest serialization) at their default memory regimes.
+func runStorageBench(path string, scale float64) {
+	registerStorageSoak()
+	rep := storageReport{
+		Note: "real-bytes mode with DefaultCostParams device throughputs; ratio = measured wall / modeled virtual per category, expected within a wide band of 1 on SSD-class hosts",
+	}
+	rep.Entries = append(rep.Entries,
+		storageRun("storagesoak", blaze.SysSparkMemDisk, scale, soakInputBytes(scale), soakMemory),
+		storageRun(blaze.PR, blaze.SysMRD, 0.3, 0, 0),
+		storageRun(blaze.SVDPP, blaze.SysSparkMemDisk, 0.3, 0, 0),
+	)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Entries {
+		fmt.Printf("%-12s %-14s mem %8d  input %8d  exceeds %-5v  files %4d  cache-hits %5d\n",
+			e.Workload, e.System, e.ClusterMemBytes, e.InputBytes, e.ExceedsMemory,
+			e.FilesWritten, e.DecodeCacheHits)
+		for _, c := range e.Categories {
+			if c.Ops == 0 {
+				continue
+			}
+			fmt.Printf("  %-11s ops %6d  bytes %10d  measured %9.3fms  modeled %9.3fms  ratio %.3f\n",
+				c.Name, c.Ops, c.Bytes, c.MeasuredMs, c.ModeledMs, c.Ratio)
+		}
+	}
+	fmt.Printf("(report written to %s)\n", path)
+}

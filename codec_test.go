@@ -11,7 +11,10 @@ import (
 
 // TestVerifyCodecOnRealWorkloads runs PR and SVD++ with every spill
 // round-tripped through the real gob codec — the serialization code path
-// exercised on real partition data.
+// exercised on real partition data. The memory store is sized far below
+// the workloads' working sets so spills MUST occur; a run with zero
+// spills fails the test, because it means VerifyCodec silently checked
+// nothing (this used to be a t.Logf, letting the codec go unexercised).
 func TestVerifyCodecOnRealWorkloads(t *testing.T) {
 	if testing.Short() {
 		t.Skip()
@@ -36,7 +39,7 @@ func TestVerifyCodecOnRealWorkloads(t *testing.T) {
 		spec.Plain(ctx, 0.3)
 		m := c.Finish()
 		if m.DiskBytesWritten == 0 {
-			t.Logf("%s: no spills occurred; codec unexercised", w)
+			t.Errorf("%s: no spills occurred, so VerifyCodec checked nothing; tighten MemoryPerExecutor", w)
 		}
 	}
 }

@@ -125,7 +125,9 @@ func (b *Controller) gatherCandidates(ex *engine.Executor) []candidate {
 		addResident(m.ID, m.Size, true, ex.Disk.Contains(m.ID))
 	}
 	for _, id := range ex.Disk.Blocks() {
-		if _, size, ok := ex.Disk.Get(id); ok {
+		// Size, not Get: candidate enumeration only needs metadata, and
+		// in real-bytes mode Get would read and decode the block's file.
+		if size, ok := ex.Disk.Size(id); ok {
 			addResident(id, size, false, true)
 		}
 	}

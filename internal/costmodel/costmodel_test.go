@@ -170,3 +170,63 @@ func TestSourceRead(t *testing.T) {
 		t.Fatal("zero bytes should cost zero")
 	}
 }
+
+func TestCalibratedRecoversThroughputs(t *testing.T) {
+	p := Default()
+	p.SerFactor = 2.0
+	// Synthesize measurements from known device speeds: 100 MB/s base
+	// serialization (so 50 MB/s effective at SerFactor 2), 200 MB/s disk
+	// write, 400 MB/s disk read. The combined disk walls include the
+	// serialization share, exactly as the meter records them.
+	const mb = 1024 * 1024
+	serBps, writeBps, readBps := 100.0*mb, 200.0*mb, 400.0*mb
+	bytes := int64(64 * mb)
+	serWall := time.Duration(float64(bytes) * p.SerFactor / serBps * float64(time.Second))
+	writeWall := serWall + time.Duration(float64(bytes)/writeBps*float64(time.Second))
+	readWall := serWall + time.Duration(float64(bytes)/readBps*float64(time.Second))
+	cal := p.Calibrated(Observed{
+		SerializeBytes: bytes, SerializeWall: serWall,
+		DiskWriteBytes: bytes, DiskWriteWall: writeWall,
+		DiskReadBytes: bytes, DiskReadWall: readWall,
+	})
+	within := func(got, want float64) bool {
+		r := got / want
+		return r > 0.99 && r < 1.01
+	}
+	if !within(cal.SerializeBps, serBps) {
+		t.Errorf("SerializeBps = %.0f, want ~%.0f", cal.SerializeBps, serBps)
+	}
+	if !within(cal.DiskWriteBps, writeBps) {
+		t.Errorf("DiskWriteBps = %.0f, want ~%.0f", cal.DiskWriteBps, writeBps)
+	}
+	if !within(cal.DiskReadBps, readBps) {
+		t.Errorf("DiskReadBps = %.0f, want ~%.0f", cal.DiskReadBps, readBps)
+	}
+	if err := cal.Validate(); err != nil {
+		t.Fatalf("calibrated params invalid: %v", err)
+	}
+}
+
+func TestCalibratedLeavesGapsUnchanged(t *testing.T) {
+	p := Default()
+	// No measurements at all: everything unchanged, including the
+	// RecordCost map, which must be a copy rather than an alias.
+	cal := p.Calibrated(Observed{})
+	if cal.SerializeBps != p.SerializeBps || cal.DiskReadBps != p.DiskReadBps || cal.DiskWriteBps != p.DiskWriteBps {
+		t.Fatal("empty observations must not change throughputs")
+	}
+	cal.RecordCost[OpLight] = 1
+	if p.RecordCost[OpLight] == 1 {
+		t.Fatal("Calibrated must deep-copy RecordCost")
+	}
+	// Inconsistent residual: the combined disk wall is shorter than the
+	// (calibrated) serialization share alone, so the disk throughput
+	// cannot be isolated and stays at its default.
+	cal = p.Calibrated(Observed{
+		SerializeBytes: 1 << 20, SerializeWall: time.Second, // very slow serialization
+		DiskWriteBytes: 1 << 20, DiskWriteWall: time.Millisecond,
+	})
+	if cal.DiskWriteBps != p.DiskWriteBps {
+		t.Fatalf("inconsistent residual should leave DiskWriteBps unchanged, got %.0f", cal.DiskWriteBps)
+	}
+}

@@ -188,7 +188,9 @@ func (a *AnnotationController) prefetchCandidates(ex *Executor) []*storage.Block
 		if !ok {
 			continue
 		}
-		_, size, _ := ex.Disk.Get(id)
+		// Size, not Get: this is a metadata scan, and in real-bytes mode
+		// Get would read and decode the block's file.
+		size, _ := ex.Disk.Size(id)
 		metas = append(metas, &storage.BlockMeta{ID: id, Size: size, RefDistance: dist})
 	}
 	return cachepolicy.PrefetchOrder(metas)

@@ -14,6 +14,7 @@ package engine
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -28,6 +29,11 @@ import (
 
 // debugEvict enables eviction tracing for diagnostics.
 var debugEvict = os.Getenv("BLAZE_DEBUG_EVICT") != ""
+
+// realDecodeCacheBlocks bounds the per-executor decode cache in
+// RealBytes mode (outside AlluxioMode): the most recently read decoded
+// partitions kept to amortize hot re-reads within a stage.
+const realDecodeCacheBlocks = 8
 
 // Placement is a desired location for a cached partition, mirroring the
 // paper's per-partition states m (memory), d (disk) and u (unpersisted).
@@ -240,6 +246,21 @@ type Config struct {
 	// (task retries, speculative execution, blacklisting). The zero value
 	// selects the documented defaults.
 	Resilience Resilience
+	// RealBytes backs the block stores with real bytes: the memory store
+	// holds gob-serialized buffers (decoding on read through a bounded
+	// decode cache) and the disk store writes one file per block under a
+	// run-scoped temp directory. Virtual-time charging is unchanged — the
+	// same modeled costs advance the same clocks — but every charge site
+	// additionally records measured wall-clock work into the cluster's
+	// Meter, enabling modeled-vs-measured comparison. Stages run on the
+	// sequential task loop so measurements are not perturbed by
+	// concurrent execution. Call Close when done to remove the block
+	// files.
+	RealBytes bool
+	// StorageDir overrides the parent directory for RealBytes block
+	// files (default: the OS temp dir). The run creates and owns a
+	// unique subdirectory inside it.
+	StorageDir string
 }
 
 // Resilience configures how the scheduler absorbs transient failures —
@@ -439,6 +460,13 @@ type Cluster struct {
 	// parallelStages counts stages dispatched to concurrent workers
 	// (driver-context bookkeeping, see ParallelStagesRan).
 	parallelStages int
+
+	// meter collects measured storage work in RealBytes mode (nil in
+	// virtual mode; all Meter methods are nil-safe no-ops then).
+	meter *storage.Meter
+	// storageDir is the run-scoped directory holding RealBytes block
+	// files, removed by Close ("" in virtual mode).
+	storageDir string
 }
 
 // taskTrace buffers one task's externally ordered side effects during
@@ -499,13 +527,37 @@ func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
 	if cores <= 0 {
 		cores = 1
 	}
+	if cfg.RealBytes {
+		c.meter = storage.NewMeter()
+		dir, err := os.MkdirTemp(cfg.StorageDir, "blaze-storage-*")
+		if err != nil {
+			return nil, fmt.Errorf("engine: real-bytes storage dir: %w", err)
+		}
+		c.storageDir = dir
+	}
 	for i := 0; i < cfg.Executors; i++ {
-		c.execs = append(c.execs, &Executor{
-			ID:    i,
-			cores: make([]costmodel.Clock, cores),
-			Mem:   storage.NewMemoryStore(cfg.MemoryPerExecutor),
-			Disk:  storage.NewDiskStore(),
-		})
+		ex := &Executor{ID: i, cores: make([]costmodel.Clock, cores)}
+		if cfg.RealBytes {
+			// AlluxioMode models per-read deserialization, so its real
+			// counterpart must decode on every read: no decode cache.
+			// Other systems keep a small hot-read cache, like Spark's
+			// deserialized memory level amortizes repeated reads.
+			cacheBlocks := realDecodeCacheBlocks
+			if cfg.AlluxioMode {
+				cacheBlocks = 0
+			}
+			dir := filepath.Join(c.storageDir, fmt.Sprintf("exec-%d", i))
+			if err := os.Mkdir(dir, 0o755); err != nil {
+				os.RemoveAll(c.storageDir)
+				return nil, fmt.Errorf("engine: real-bytes executor dir: %w", err)
+			}
+			ex.Mem = storage.NewMemoryStoreReal(cfg.MemoryPerExecutor, c.meter, cacheBlocks)
+			ex.Disk = storage.NewDiskStoreReal(dir, c.meter)
+		} else {
+			ex.Mem = storage.NewMemoryStore(cfg.MemoryPerExecutor)
+			ex.Disk = storage.NewDiskStore()
+		}
+		c.execs = append(c.execs, ex)
 	}
 	ctx.SetRunner(c)
 	c.ctl.Bind(c)
@@ -572,6 +624,26 @@ func (c *Cluster) anyStraggling() bool {
 
 // Metrics returns the application metrics.
 func (c *Cluster) Metrics() *metrics.App { return c.met }
+
+// Meter returns the measured-storage meter (nil unless Config.RealBytes).
+func (c *Cluster) Meter() *storage.Meter { return c.meter }
+
+// StorageDir returns the run-scoped directory holding RealBytes block
+// files ("" in virtual mode).
+func (c *Cluster) StorageDir() string { return c.storageDir }
+
+// Close releases run-scoped resources: in RealBytes mode it removes the
+// block-file directory. Safe to call multiple times and on virtual-mode
+// clusters (no-op); callers should defer it right after NewCluster so
+// failure paths clean up too.
+func (c *Cluster) Close() error {
+	if c.storageDir == "" {
+		return nil
+	}
+	dir := c.storageDir
+	c.storageDir = ""
+	return os.RemoveAll(dir)
+}
 
 // ShuffleComplete reports whether a shuffle's outputs are currently
 // available (controllers use this to price recomputation across stage
@@ -748,7 +820,18 @@ func (c *Cluster) DropBlock(ex *Executor, id storage.BlockID) {
 // SpillBlock moves a block from memory to disk (m→d), charging the write
 // to the executor clock and the disk-I/O-for-caching bucket.
 func (c *Cluster) SpillBlock(ex *Executor, id storage.BlockID) bool {
-	recs, size, ok := ex.Mem.Remove(id)
+	// In RealBytes mode the memory copy is already serialized; spilling
+	// moves the encoded buffer to its block file without a decode/encode
+	// round trip (as Spark spills serialized bytes).
+	var recs []dataflow.Record
+	var data []byte
+	var size int64
+	var ok bool
+	if c.cfg.RealBytes {
+		data, size, ok = ex.Mem.RemoveEncoded(id)
+	} else {
+		recs, size, ok = ex.Mem.Remove(id)
+	}
 	if !ok {
 		return false
 	}
@@ -760,15 +843,25 @@ func (c *Cluster) SpillBlock(ex *Executor, id storage.BlockID) bool {
 	c.ctl.OnBlockRemoved(ex, id)
 	wrote := false
 	if !ex.Disk.Contains(id) {
-		if c.cfg.VerifyCodec {
+		if c.cfg.VerifyCodec && !c.cfg.RealBytes {
+			// RealBytes blocks round-trip through the codec by
+			// construction; verify only the virtual-mode objects.
 			c.verifyCodec(id, recs)
 		}
 		cost := c.cfg.Params.DiskWrite(size)
 		ex.Clock().Advance(cost)
 		c.met.Executors[ex.ID].Breakdown.DiskIO += cost
 		c.met.Executors[ex.ID].EvictedToDiskBytes += size
-		if err := ex.Disk.Put(id, recs, size); err != nil {
-			// Unreachable: Contains was checked above.
+		c.meter.AddModeled(storage.DiskWrite, cost)
+		var err error
+		if c.cfg.RealBytes {
+			err = ex.Disk.PutEncoded(id, data, size)
+		} else {
+			err = ex.Disk.Put(id, recs, size)
+		}
+		if err != nil {
+			// Unreachable for duplicates (Contains was checked above);
+			// a real-bytes file-write failure is fatal.
 			panic(err)
 		}
 		c.noteDiskWrite(ex, size)
@@ -827,7 +920,7 @@ func (c *Cluster) dropFromMemory(ex *Executor, id storage.BlockID) bool {
 // chargeClock=false runs the I/O in scheduling gaps (MRD's background
 // prefetch) while still accounting the disk time.
 func (c *Cluster) PromoteBlock(ex *Executor, id storage.BlockID, chargeClock bool) bool {
-	recs, size, ok := ex.Disk.Get(id)
+	size, ok := ex.Disk.Size(id)
 	if !ok || ex.Mem.Contains(id) {
 		return false
 	}
@@ -842,7 +935,24 @@ func (c *Cluster) PromoteBlock(ex *Executor, id storage.BlockID, chargeClock boo
 		ex.Clock().Advance(cost)
 	}
 	c.met.Executors[ex.ID].Breakdown.DiskIO += cost
-	if _, err := ex.Mem.Put(id, recs, size, ex.ID, ex.Clock().Now()); err != nil {
+	c.meter.AddModeled(storage.DiskRead, cost)
+	var err error
+	if c.cfg.RealBytes {
+		// Move the encoded buffer up without a decode/encode round trip;
+		// it will be decoded on first read like any memory block.
+		data, _, ok := ex.Disk.GetEncoded(id)
+		if !ok {
+			return false
+		}
+		_, err = ex.Mem.PutEncoded(id, data, size, ex.ID, ex.Clock().Now())
+	} else {
+		recs, _, ok := ex.Disk.Get(id)
+		if !ok {
+			return false
+		}
+		_, err = ex.Mem.Put(id, recs, size, ex.ID, ex.Clock().Now())
+	}
+	if err != nil {
 		return false
 	}
 	c.ctl.OnBlockAdmitted(ex, id)

@@ -41,6 +41,12 @@ func (c *Cluster) parallelPlan(st *Stage, taskParts []int) (map[*Executor][]int,
 	if c.par <= 1 || st.Regenerated || len(taskParts) < 2 {
 		return nil, nil
 	}
+	// RealBytes runs measure wall-clock (de)serialization and file I/O;
+	// concurrent workers would contend for cores and disk and distort the
+	// measurements, so measured stages always take the sequential loop.
+	if c.cfg.RealBytes {
+		return nil, nil
+	}
 	var caps ParallelCaps
 	if pc, ok := c.ctl.(ParallelCapable); ok {
 		caps = pc.ParallelCaps()

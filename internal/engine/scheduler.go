@@ -592,6 +592,7 @@ func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []da
 			cost := params.Serialize(meta.Size)
 			ex.Clock().Advance(cost)
 			stats.Breakdown.DiskIO += cost
+			c.meter.AddModeled(storage.MemDecode, cost)
 		}
 		c.met.IncCacheHit()
 		c.ctl.OnBlockAccess(ex, id)
@@ -605,6 +606,7 @@ func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []da
 		cost := params.DiskRead(size)
 		ex.Clock().Advance(cost)
 		stats.Breakdown.DiskIO += cost
+		c.meter.AddModeled(storage.DiskRead, cost)
 		c.met.IncDiskHit()
 		c.ctl.OnBlockAccess(ex, id)
 		c.emitEx(ex, eventlog.Event{Kind: eventlog.BlockDiskHit, Time: ex.Clock().Now(), Job: c.curJob,
@@ -691,6 +693,13 @@ func (c *Cluster) materialize(ex *Executor, ds *dataflow.Dataset, part int) []da
 // admitToMemory caches a block in executor memory, evicting victims as
 // the controller directs. Returns false if space could not be freed.
 func (c *Cluster) admitToMemory(ex *Executor, id storage.BlockID, recs []dataflow.Record, size int64) bool {
+	if ex.Mem.Contains(id) {
+		// A duplicate admit must be rejected before any cost is charged:
+		// Put would refuse it anyway, and charging the AlluxioMode
+		// serialization below for an admission that never happens would
+		// leave the clock advanced for phantom work.
+		return false
+	}
 	if size > ex.Mem.Capacity() {
 		return false
 	}
@@ -701,6 +710,7 @@ func (c *Cluster) admitToMemory(ex *Executor, id storage.BlockID, recs []dataflo
 		cost := c.cfg.Params.Serialize(size)
 		ex.Clock().Advance(cost)
 		c.met.Executors[ex.ID].Breakdown.DiskIO += cost
+		c.meter.AddModeled(storage.MemEncode, cost)
 	}
 	if _, err := ex.Mem.Put(id, recs, size, ex.ID, ex.Clock().Now()); err != nil {
 		return false
@@ -717,12 +727,13 @@ func (c *Cluster) writeToDisk(ex *Executor, id storage.BlockID, recs []dataflow.
 	if ex.Disk.Contains(id) {
 		return
 	}
-	if c.cfg.VerifyCodec {
+	if c.cfg.VerifyCodec && !c.cfg.RealBytes {
 		c.verifyCodec(id, recs)
 	}
 	cost := c.cfg.Params.DiskWrite(size)
 	ex.Clock().Advance(cost)
 	c.met.Executors[ex.ID].Breakdown.DiskIO += cost
+	c.meter.AddModeled(storage.DiskWrite, cost)
 	if err := ex.Disk.Put(id, recs, size); err != nil {
 		panic(err) // Contains was checked above
 	}

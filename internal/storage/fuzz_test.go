@@ -1,0 +1,119 @@
+package storage_test
+
+// Fuzz target for the partition codec: EncodeRecords/DecodeRecords must
+// be an exact round trip over the registered workload value types, for
+// any record mix, including the empty and nil partitions. CI runs the
+// seed corpus alongside the ILP fuzz targets (go test -run Fuzz); local
+// fuzzing explores further with go test -fuzz=FuzzRecordsRoundTrip.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"blaze/internal/dataflow"
+	"blaze/internal/graphx"
+	"blaze/internal/mllib"
+	"blaze/internal/storage"
+)
+
+func init() {
+	// The workload packages register their own types; the fuzz mix also
+	// uses these base slice types.
+	storage.RegisterValueType([]byte{})
+	storage.RegisterValueType([]int64{})
+	storage.RegisterValueType("")
+}
+
+// fuzzValue derives one registered-type value from the fuzz inputs.
+// selector picks the type; the scalars seed its contents.
+func fuzzValue(selector uint8, k int64, f float64, s string, b []byte) any {
+	if math.IsNaN(f) {
+		// NaN round-trips through gob but breaks reflect.DeepEqual;
+		// normalize so the comparison below stays meaningful.
+		f = 0
+	}
+	switch selector % 10 {
+	case 0:
+		return f
+	case 1:
+		return k
+	case 2:
+		return s
+	case 3:
+		return append([]byte(nil), b...)
+	case 4:
+		return []float64{f, f * 2, -f}
+	case 5:
+		return []int64{k, -k}
+	case 6:
+		return graphx.AdjList{Dsts: []int64{k, k + 1, k + 2}}
+	case 7:
+		return graphx.VertexRank{Adj: []int64{k}, Rank: f}
+	case 8:
+		return mllib.LabeledPoint{X: []float64{f, f + 1}, Y: f}
+	default:
+		return mllib.Vector{V: []float64{f}}
+	}
+}
+
+func FuzzRecordsRoundTrip(f *testing.F) {
+	f.Add(uint8(0), int64(0), 0.0, "", []byte(nil), uint8(0))
+	f.Add(uint8(1), int64(42), 1.5, "hello", []byte{1, 2, 3}, uint8(3))
+	f.Add(uint8(6), int64(-7), math.Inf(1), "π", []byte{0xff}, uint8(5))
+	f.Add(uint8(8), int64(math.MaxInt64), -0.0, "a\x00b", []byte{}, uint8(7))
+	f.Add(uint8(9), int64(math.MinInt64), math.SmallestNonzeroFloat64, "長い文字列", []byte("gob"), uint8(255))
+
+	f.Fuzz(func(t *testing.T, selector uint8, k int64, fv float64, s string, b []byte, n uint8) {
+		// n%4 == 0 exercises the degenerate partitions: nil and empty.
+		var recs []dataflow.Record
+		switch {
+		case n%4 == 0:
+			recs = nil
+		case n%4 == 1:
+			recs = []dataflow.Record{}
+		default:
+			recs = make([]dataflow.Record, int(n%16)+1)
+			for i := range recs {
+				recs[i] = dataflow.Record{
+					Key:   k + int64(i),
+					Value: fuzzValue(selector+uint8(i), k+int64(i), fv, s, b),
+				}
+			}
+		}
+
+		data, err := storage.EncodeRecords(recs)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := storage.DecodeRecords(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if (recs == nil) != (back == nil) {
+			t.Fatalf("nilness lost: in nil=%v out nil=%v", recs == nil, back == nil)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("%d records became %d", len(recs), len(back))
+		}
+		for i := range recs {
+			if back[i].Key != recs[i].Key {
+				t.Fatalf("record %d: key %d became %d", i, recs[i].Key, back[i].Key)
+			}
+			if !reflect.DeepEqual(normalizeEmpty(back[i].Value), normalizeEmpty(recs[i].Value)) {
+				t.Fatalf("record %d: value %#v became %#v", i, recs[i].Value, back[i].Value)
+			}
+		}
+	})
+}
+
+// normalizeEmpty maps empty byte slices to nil: gob does not preserve
+// the nil-vs-empty distinction inside values (only the codec's
+// partition-level wrapper does, by design), so the value comparison
+// treats them as equal.
+func normalizeEmpty(v any) any {
+	if b, ok := v.([]byte); ok && len(b) == 0 {
+		return []byte(nil)
+	}
+	return v
+}

@@ -5,16 +5,31 @@
 //
 // The stores are mechanism only: which blocks to admit, evict, spill or
 // unpersist is decided by a cache controller in internal/engine or
-// internal/core. The disk store is simulated (records are retained
-// in-process) while the cost model charges the modeled serialization and
-// device time; an encoding/gob codec is provided to validate the size
-// estimator against real serialized sizes.
+// internal/core. Each store runs in one of two modes:
+//
+//   - Virtual (the default): records are retained as live Go objects and
+//     the cost model charges modeled serialization and device time. This
+//     mode is deterministic and bit-identical at any parallelism.
+//   - Real bytes: the memory store holds gob-serialized byte buffers
+//     (with a bounded decode cache for hot reads) and the disk store
+//     writes one file per block under a run-scoped directory. The stores
+//     measure the wall-clock (de)serialization and file I/O they perform
+//     into a Meter, alongside the virtual charges, so modeled and
+//     measured costs can be compared per category.
+//
+// In both modes capacity accounting uses the analytic size estimates the
+// engine passes in, so controller decisions (admission, eviction,
+// spilling) are identical across modes; real encoded byte counts are
+// tracked separately by the Meter.
 package storage
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
 	"sort"
 	"time"
 
@@ -45,6 +60,8 @@ func ValueSize(v any) int64 {
 		return x.SizeBytes()
 	case bool, int8, uint8:
 		return 1
+	case int16, uint16:
+		return 2
 	case int32, uint32, float32:
 		return 4
 	case int, int64, uint64, float64:
@@ -55,12 +72,49 @@ func ValueSize(v any) int64 {
 		return 24 + int64(len(x))
 	case []float64:
 		return 24 + 8*int64(len(x))
+	case []float32:
+		return 24 + 4*int64(len(x))
 	case []int64:
 		return 24 + 8*int64(len(x))
+	case []int32:
+		return 24 + 4*int64(len(x))
+	case []int:
+		return 24 + 8*int64(len(x))
+	case []string:
+		s := int64(24)
+		for _, e := range x {
+			s += 16 + int64(len(e))
+		}
+		return s
 	case []any:
 		s := int64(24)
 		for _, e := range x {
 			s += 16 + ValueSize(e)
+		}
+		return s
+	default:
+		return reflectValueSize(v)
+	}
+}
+
+// reflectValueSize sizes slice- and map-typed values that have no
+// dedicated case above, walking elements reflectively. Summation is
+// order-independent, so map iteration order does not affect the result.
+// Anything else keeps the historical flat fallback.
+func reflectValueSize(v any) int64 {
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice:
+		s := int64(24)
+		for i := 0; i < rv.Len(); i++ {
+			s += 8 + ValueSize(rv.Index(i).Interface())
+		}
+		return s
+	case reflect.Map:
+		s := int64(48)
+		it := rv.MapRange()
+		for it.Next() {
+			s += 16 + ValueSize(it.Key().Interface()) + ValueSize(it.Value().Interface())
 		}
 		return s
 	default:
@@ -107,23 +161,53 @@ type BlockMeta struct {
 }
 
 type memEntry struct {
-	records []dataflow.Record
+	records []dataflow.Record // virtual mode: the live objects
+	data    []byte            // real mode: the serialized bytes
 	meta    *BlockMeta
 }
 
-// MemoryStore is a capacity-bounded in-memory block store.
+// MemoryStore is a capacity-bounded in-memory block store. In real-bytes
+// mode it holds serialized buffers and decodes on read through a bounded
+// decode cache.
 type MemoryStore struct {
 	capacity int64
 	used     int64
 	peak     int64
 	blocks   map[BlockID]*memEntry
 	seq      int64
+
+	real  bool
+	meter *Meter
+	// decode cache: most-recently-read decoded partitions, bounded by
+	// cacheCap blocks (0 disables caching, so every read deserializes).
+	cacheCap int
+	cache    map[BlockID][]dataflow.Record
+	cacheLRU []BlockID // oldest first
 }
 
-// NewMemoryStore creates a store with the given capacity in bytes.
+// NewMemoryStore creates a virtual-mode store with the given capacity in
+// bytes.
 func NewMemoryStore(capacity int64) *MemoryStore {
 	return &MemoryStore{capacity: capacity, blocks: make(map[BlockID]*memEntry)}
 }
+
+// NewMemoryStoreReal creates a real-bytes store: Put serializes records
+// into a byte buffer, Get deserializes through a decode cache holding at
+// most decodeCacheBlocks partitions. Measured work is recorded into the
+// meter (which may be nil).
+func NewMemoryStoreReal(capacity int64, meter *Meter, decodeCacheBlocks int) *MemoryStore {
+	m := NewMemoryStore(capacity)
+	m.real = true
+	m.meter = meter
+	m.cacheCap = decodeCacheBlocks
+	if m.cacheCap > 0 {
+		m.cache = make(map[BlockID][]dataflow.Record, m.cacheCap)
+	}
+	return m
+}
+
+// Real reports whether the store holds serialized bytes.
+func (m *MemoryStore) Real() bool { return m.real }
 
 // Capacity returns the configured capacity.
 func (m *MemoryStore) Capacity() int64 { return m.capacity }
@@ -141,6 +225,8 @@ func (m *MemoryStore) Contains(id BlockID) bool {
 }
 
 // Get returns the block's records and metadata, updating access stats.
+// In real-bytes mode the records are deserialized from the stored buffer
+// unless the decode cache holds them.
 func (m *MemoryStore) Get(id BlockID, now time.Duration) ([]dataflow.Record, *BlockMeta, bool) {
 	e, ok := m.blocks[id]
 	if !ok {
@@ -148,7 +234,63 @@ func (m *MemoryStore) Get(id BlockID, now time.Duration) ([]dataflow.Record, *Bl
 	}
 	e.meta.LastAccess = now
 	e.meta.AccessCount++
-	return e.records, e.meta, true
+	if !m.real {
+		return e.records, e.meta, true
+	}
+	return m.decode(id, e), e.meta, true
+}
+
+// decode returns the decoded records for a real-mode entry, consulting
+// and maintaining the decode cache.
+func (m *MemoryStore) decode(id BlockID, e *memEntry) []dataflow.Record {
+	if recs, hit := m.cache[id]; hit {
+		m.meter.addDecodeCacheHit()
+		m.cacheTouch(id)
+		return recs
+	}
+	start := time.Now()
+	recs, err := DecodeRecords(e.data)
+	if err != nil {
+		panic(fmt.Sprintf("storage: memory block %v failed to decode: %v", id, err))
+	}
+	m.meter.addMeasured(MemDecode, int64(len(e.data)), time.Since(start))
+	m.cacheInsert(id, recs)
+	return recs
+}
+
+func (m *MemoryStore) cacheTouch(id BlockID) {
+	for i, c := range m.cacheLRU {
+		if c == id {
+			m.cacheLRU = append(append(m.cacheLRU[:i:i], m.cacheLRU[i+1:]...), id)
+			return
+		}
+	}
+}
+
+func (m *MemoryStore) cacheInsert(id BlockID, recs []dataflow.Record) {
+	if m.cacheCap <= 0 {
+		return
+	}
+	if len(m.cacheLRU) >= m.cacheCap {
+		oldest := m.cacheLRU[0]
+		m.cacheLRU = m.cacheLRU[1:]
+		delete(m.cache, oldest)
+	}
+	m.cache[id] = recs
+	m.cacheLRU = append(m.cacheLRU, id)
+}
+
+func (m *MemoryStore) cacheDrop(id BlockID) {
+	if _, ok := m.cache[id]; !ok {
+		return
+	}
+	delete(m.cache, id)
+	for i, c := range m.cacheLRU {
+		if c == id {
+			m.cacheLRU = append(m.cacheLRU[:i:i], m.cacheLRU[i+1:]...)
+			break
+		}
+	}
 }
 
 // Peek returns metadata without touching access stats.
@@ -162,8 +304,34 @@ func (m *MemoryStore) Peek(id BlockID) (*BlockMeta, bool) {
 
 // Put inserts a block. It returns an error if the block would exceed the
 // remaining capacity — the caller must evict first, which keeps eviction
-// decisions in the controller where they belong.
+// decisions in the controller where they belong. In real-bytes mode the
+// records are serialized into the stored buffer (measured into the
+// meter); size remains the caller's analytic estimate so capacity
+// accounting is identical across modes.
 func (m *MemoryStore) Put(id BlockID, recs []dataflow.Record, size int64, executor int, now time.Duration) (*BlockMeta, error) {
+	var data []byte
+	if m.real {
+		start := time.Now()
+		d, err := EncodeRecords(recs)
+		if err != nil {
+			return nil, fmt.Errorf("storage: block %v failed to encode: %w", id, err)
+		}
+		m.meter.addMeasured(MemEncode, int64(len(d)), time.Since(start))
+		data = d
+	}
+	return m.putEntry(id, recs, data, size, executor, now)
+}
+
+// PutEncoded inserts an already-serialized block (real-bytes mode only;
+// used to promote a block from disk without a decode/encode round trip).
+func (m *MemoryStore) PutEncoded(id BlockID, data []byte, size int64, executor int, now time.Duration) (*BlockMeta, error) {
+	if !m.real {
+		return nil, fmt.Errorf("storage: PutEncoded on a virtual-mode store")
+	}
+	return m.putEntry(id, nil, data, size, executor, now)
+}
+
+func (m *MemoryStore) putEntry(id BlockID, recs []dataflow.Record, data []byte, size int64, executor int, now time.Duration) (*BlockMeta, error) {
 	if _, exists := m.blocks[id]; exists {
 		return nil, fmt.Errorf("storage: block %v already in memory", id)
 	}
@@ -178,7 +346,10 @@ func (m *MemoryStore) Put(id BlockID, recs []dataflow.Record, size int64, execut
 		LastAccess: now,
 		InsertSeq:  m.seq,
 	}
-	m.blocks[id] = &memEntry{records: recs, meta: meta}
+	if m.real {
+		recs = nil
+	}
+	m.blocks[id] = &memEntry{records: recs, data: data, meta: meta}
 	m.used += size
 	if m.used > m.peak {
 		m.peak = m.used
@@ -191,14 +362,35 @@ func (m *MemoryStore) Put(id BlockID, recs []dataflow.Record, size int64, execut
 func (m *MemoryStore) PeakUsed() int64 { return m.peak }
 
 // Remove drops a block and returns its records (for spilling) and size.
+// In real-bytes mode the records return nil — callers that need the
+// payload use RemoveEncoded instead, avoiding a decode on eviction.
 func (m *MemoryStore) Remove(id BlockID) ([]dataflow.Record, int64, bool) {
-	e, ok := m.blocks[id]
+	e, ok := m.dropEntry(id)
 	if !ok {
 		return nil, 0, false
 	}
+	return e.records, e.meta.Size, true
+}
+
+// RemoveEncoded drops a block and returns its serialized bytes
+// (real-bytes mode only; used to spill without re-serializing).
+func (m *MemoryStore) RemoveEncoded(id BlockID) ([]byte, int64, bool) {
+	e, ok := m.dropEntry(id)
+	if !ok {
+		return nil, 0, false
+	}
+	return e.data, e.meta.Size, true
+}
+
+func (m *MemoryStore) dropEntry(id BlockID) (*memEntry, bool) {
+	e, ok := m.blocks[id]
+	if !ok {
+		return nil, false
+	}
 	delete(m.blocks, id)
 	m.used -= e.meta.Size
-	return e.records, e.meta.Size, true
+	m.cacheDrop(id)
+	return e, true
 }
 
 // Blocks returns the metadata of all resident blocks in deterministic
@@ -218,24 +410,52 @@ func (m *MemoryStore) Blocks() []*BlockMeta {
 }
 
 type diskEntry struct {
-	records []dataflow.Record
-	size    int64
+	records   []dataflow.Record // virtual mode only
+	size      int64             // accounted (estimated) size
+	fileBytes int64             // real mode: encoded bytes on disk
 }
 
 // DiskStore is the secondary block store used by MEM_AND_DISK storage
 // levels. It tracks cumulative written bytes and the peak footprint,
 // which the evaluation reports (§7.2: "the average total size of data on
-// disk reaches 306 GB (peak 427 GB)").
+// disk reaches 306 GB (peak 427 GB)"). In real-bytes mode each block is
+// one file named after its BlockID under the store's directory.
 type DiskStore struct {
 	blocks       map[BlockID]diskEntry
 	current      int64
 	peak         int64
 	totalWritten int64
+
+	real  bool
+	dir   string
+	meter *Meter
 }
 
-// NewDiskStore creates an empty disk store.
+// NewDiskStore creates an empty virtual-mode disk store.
 func NewDiskStore() *DiskStore {
 	return &DiskStore{blocks: make(map[BlockID]diskEntry)}
+}
+
+// NewDiskStoreReal creates a file-backed disk store rooted at dir (which
+// must exist). Measured write/read work is recorded into the meter
+// (which may be nil).
+func NewDiskStoreReal(dir string, meter *Meter) *DiskStore {
+	d := NewDiskStore()
+	d.real = true
+	d.dir = dir
+	d.meter = meter
+	return d
+}
+
+// Real reports whether the store writes actual files.
+func (d *DiskStore) Real() bool { return d.real }
+
+// Dir returns the store's directory ("" in virtual mode).
+func (d *DiskStore) Dir() string { return d.dir }
+
+// path returns the block's file path, e.g. dir/rdd_12_3.gob.
+func (d *DiskStore) path(id BlockID) string {
+	return filepath.Join(d.dir, id.String()+".gob")
 }
 
 // Contains reports whether a block is on disk.
@@ -244,30 +464,114 @@ func (d *DiskStore) Contains(id BlockID) bool {
 	return ok
 }
 
-// Put writes a block to disk.
+// Put writes a block to disk. In real-bytes mode the records are
+// serialized and written to the block's file, with the combined
+// wall-clock time measured as DiskWrite (the cost model likewise folds
+// serialization into its DiskWrite charge).
 func (d *DiskStore) Put(id BlockID, recs []dataflow.Record, size int64) error {
 	if _, exists := d.blocks[id]; exists {
 		return fmt.Errorf("storage: block %v already on disk", id)
 	}
-	d.blocks[id] = diskEntry{records: recs, size: size}
-	d.current += size
-	d.totalWritten += size
-	if d.current > d.peak {
-		d.peak = d.current
+	e := diskEntry{size: size}
+	if d.real {
+		start := time.Now()
+		data, err := EncodeRecords(recs)
+		if err != nil {
+			return fmt.Errorf("storage: block %v failed to encode: %w", id, err)
+		}
+		if err := os.WriteFile(d.path(id), data, 0o644); err != nil {
+			return fmt.Errorf("storage: block %v: %w", id, err)
+		}
+		d.meter.addMeasured(DiskWrite, int64(len(data)), time.Since(start))
+		d.meter.addFile(int64(len(data)))
+		e.fileBytes = int64(len(data))
+	} else {
+		e.records = recs
 	}
+	d.insert(id, e)
 	return nil
 }
 
-// Get reads a block from disk.
+// PutEncoded writes an already-serialized block to its file (real-bytes
+// mode only; used to spill a memory block without re-serializing).
+func (d *DiskStore) PutEncoded(id BlockID, data []byte, size int64) error {
+	if !d.real {
+		return fmt.Errorf("storage: PutEncoded on a virtual-mode store")
+	}
+	if _, exists := d.blocks[id]; exists {
+		return fmt.Errorf("storage: block %v already on disk", id)
+	}
+	start := time.Now()
+	if err := os.WriteFile(d.path(id), data, 0o644); err != nil {
+		return fmt.Errorf("storage: block %v: %w", id, err)
+	}
+	d.meter.addMeasured(DiskWrite, int64(len(data)), time.Since(start))
+	d.meter.addFile(int64(len(data)))
+	d.insert(id, diskEntry{size: size, fileBytes: int64(len(data))})
+	return nil
+}
+
+func (d *DiskStore) insert(id BlockID, e diskEntry) {
+	d.blocks[id] = e
+	d.current += e.size
+	d.totalWritten += e.size
+	if d.current > d.peak {
+		d.peak = d.current
+	}
+}
+
+// Get reads a block from disk. In real-bytes mode the block's file is
+// read and deserialized, with the combined wall-clock time measured as
+// DiskRead.
 func (d *DiskStore) Get(id BlockID) ([]dataflow.Record, int64, bool) {
 	e, ok := d.blocks[id]
 	if !ok {
 		return nil, 0, false
 	}
-	return e.records, e.size, true
+	if !d.real {
+		return e.records, e.size, true
+	}
+	start := time.Now()
+	data, err := os.ReadFile(d.path(id))
+	if err != nil {
+		panic(fmt.Sprintf("storage: disk block %v unreadable: %v", id, err))
+	}
+	recs, err := DecodeRecords(data)
+	if err != nil {
+		panic(fmt.Sprintf("storage: disk block %v failed to decode: %v", id, err))
+	}
+	d.meter.addMeasured(DiskRead, int64(len(data)), time.Since(start))
+	return recs, e.size, true
 }
 
-// Remove deletes a block from disk.
+// GetEncoded reads a block's raw bytes without decoding (real-bytes mode
+// only; used to promote a block to memory without a decode/encode round
+// trip). The read is measured as DiskRead.
+func (d *DiskStore) GetEncoded(id BlockID) ([]byte, int64, bool) {
+	e, ok := d.blocks[id]
+	if !ok || !d.real {
+		return nil, 0, false
+	}
+	start := time.Now()
+	data, err := os.ReadFile(d.path(id))
+	if err != nil {
+		panic(fmt.Sprintf("storage: disk block %v unreadable: %v", id, err))
+	}
+	d.meter.addMeasured(DiskRead, int64(len(data)), time.Since(start))
+	return data, e.size, true
+}
+
+// Size returns a block's accounted size without touching its payload
+// (no file I/O in real-bytes mode).
+func (d *DiskStore) Size(id BlockID) (int64, bool) {
+	e, ok := d.blocks[id]
+	if !ok {
+		return 0, false
+	}
+	return e.size, true
+}
+
+// Remove deletes a block from disk (and its file, in real-bytes mode).
 func (d *DiskStore) Remove(id BlockID) (int64, bool) {
 	e, ok := d.blocks[id]
 	if !ok {
@@ -275,6 +579,12 @@ func (d *DiskStore) Remove(id BlockID) (int64, bool) {
 	}
 	delete(d.blocks, id)
 	d.current -= e.size
+	if d.real {
+		if err := os.Remove(d.path(id)); err != nil && !os.IsNotExist(err) {
+			panic(fmt.Sprintf("storage: disk block %v: %v", id, err))
+		}
+		d.meter.addFile(-e.fileBytes)
+	}
 	return e.size, true
 }
 
@@ -308,33 +618,48 @@ type gobRecord struct {
 	Value any
 }
 
+// gobPartition is the wire format for one encoded partition. NonNil
+// distinguishes an empty partition from a nil one so the round trip is
+// exact: gob itself encodes both as zero-length, which would otherwise
+// turn empty slices into nil on decode.
+type gobPartition struct {
+	NonNil bool
+	Recs   []gobRecord
+}
+
 // RegisterValueType registers a concrete value type with the gob codec;
 // workloads call this for their payload types before using the codec.
 func RegisterValueType(v any) { gob.Register(v) }
 
-// EncodeRecords serializes a partition with encoding/gob. It exists to
-// validate the analytic size estimator and to exercise a real
-// serialization code path in tests.
+// EncodeRecords serializes a partition with encoding/gob. Real-bytes
+// stores use it for every cached block; virtual mode uses it to validate
+// the analytic size estimator and to exercise a real serialization code
+// path in tests.
 func EncodeRecords(recs []dataflow.Record) ([]byte, error) {
-	rs := make([]gobRecord, len(recs))
+	p := gobPartition{NonNil: recs != nil, Recs: make([]gobRecord, len(recs))}
 	for i, r := range recs {
-		rs[i] = gobRecord{Key: r.Key, Value: r.Value}
+		p.Recs[i] = gobRecord{Key: r.Key, Value: r.Value}
 	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rs); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
 		return nil, fmt.Errorf("storage: encode: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
-// DecodeRecords deserializes a partition written by EncodeRecords.
+// DecodeRecords deserializes a partition written by EncodeRecords. The
+// round trip is exact for empty partitions: an empty (non-nil) slice
+// decodes as empty, a nil slice as nil.
 func DecodeRecords(data []byte) ([]dataflow.Record, error) {
-	var rs []gobRecord
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rs); err != nil {
+	var p gobPartition
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("storage: decode: %w", err)
 	}
-	out := make([]dataflow.Record, len(rs))
-	for i, r := range rs {
+	if !p.NonNil {
+		return nil, nil
+	}
+	out := make([]dataflow.Record, len(p.Recs))
+	for i, r := range p.Recs {
 		out[i] = dataflow.Record{Key: r.Key, Value: r.Value}
 	}
 	return out, nil

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 	"time"
@@ -311,5 +313,267 @@ func TestValueSizeMoreKinds(t *testing.T) {
 func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := DecodeRecords([]byte("not gob data")); err == nil {
 		t.Fatal("garbage should not decode")
+	}
+}
+
+// Regression: the codec round trip must be exact for degenerate
+// partitions — an empty (non-nil) slice stays empty and non-nil, a nil
+// slice stays nil. gob alone encodes both as zero-length, which used to
+// turn empty partitions into nil on decode.
+func TestCodecRoundTripEmptyAndNil(t *testing.T) {
+	data, err := EncodeRecords([]dataflow.Record{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back == nil {
+		t.Fatal("empty partition decoded as nil")
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty partition decoded with %d records", len(back))
+	}
+
+	data, err = EncodeRecords(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = DecodeRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != nil {
+		t.Fatalf("nil partition decoded as non-nil: %#v", back)
+	}
+}
+
+func TestValueSizeNewKinds(t *testing.T) {
+	cases := []struct {
+		v    any
+		want int64
+	}{
+		{[]float32{1, 2, 3}, 24 + 12},
+		{[]int32{1, 2}, 24 + 8},
+		{[]int{1, 2, 3}, 24 + 24},
+		{[]string{"ab", "c"}, 24 + (16 + 2) + (16 + 1)},
+		{map[int64]float64{1: 1, 2: 2}, 48 + 2*(16+8+8)},
+		{map[string]int64{"ab": 1}, 48 + (16 + 16 + 2 + 8)},
+		{[]uint32{1, 2}, 24 + (8 + 4) + (8 + 4)}, // reflect slice fallback
+		{int16(1), 2},
+		{struct{ a, b int }{}, 48}, // non-collection fallback unchanged
+	}
+	for _, c := range cases {
+		if got := ValueSize(c.v); got != c.want {
+			t.Errorf("ValueSize(%#v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// Map sizing must not depend on iteration order: summation over entries
+// is commutative, so repeated calls agree.
+func TestValueSizeMapDeterministic(t *testing.T) {
+	m := map[int64]string{}
+	for i := int64(0); i < 100; i++ {
+		m[i] = "v"
+	}
+	first := ValueSize(m)
+	for i := 0; i < 10; i++ {
+		if got := ValueSize(m); got != first {
+			t.Fatalf("map size changed across calls: %d != %d", got, first)
+		}
+	}
+}
+
+func TestMemoryStoreRealRoundTrip(t *testing.T) {
+	RegisterValueType(float64(0))
+	meter := NewMeter()
+	m := NewMemoryStoreReal(1<<20, meter, 2)
+	if !m.Real() {
+		t.Fatal("store not in real mode")
+	}
+	id := BlockID{Dataset: 1, Partition: 0}
+	recs := []dataflow.Record{{Key: 1, Value: 1.5}, {Key: 2, Value: 2.5}}
+	if _, err := m.Put(id, recs, 128, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := meter.Snapshot()
+	if snap.MemEncode.Ops != 1 || snap.MemEncode.Bytes == 0 {
+		t.Fatalf("put not measured as encode: %+v", snap.MemEncode)
+	}
+
+	got, _, ok := m.Get(id, time.Second)
+	if !ok || len(got) != 2 || got[1].Value.(float64) != 2.5 {
+		t.Fatalf("get decoded wrong: %+v ok=%v", got, ok)
+	}
+	snap = meter.Snapshot()
+	if snap.MemDecode.Ops != 1 {
+		t.Fatalf("first read must decode: %+v", snap.MemDecode)
+	}
+	// Second read is served from the decode cache.
+	if _, _, ok := m.Get(id, 2*time.Second); !ok {
+		t.Fatal("second get failed")
+	}
+	snap = meter.Snapshot()
+	if snap.MemDecode.Ops != 1 || snap.DecodeCacheHits != 1 {
+		t.Fatalf("second read must hit the cache: decodes=%+v cacheHits=%d",
+			snap.MemDecode, snap.DecodeCacheHits)
+	}
+}
+
+func TestMemoryStoreDecodeCacheEviction(t *testing.T) {
+	RegisterValueType(float64(0))
+	meter := NewMeter()
+	m := NewMemoryStoreReal(1<<20, meter, 2) // cache holds 2 blocks
+	ids := []BlockID{{1, 0}, {1, 1}, {1, 2}}
+	for i, id := range ids {
+		recs := []dataflow.Record{{Key: int64(i), Value: float64(i)}}
+		if _, err := m.Put(id, recs, 64, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids { // decode all three; cache keeps the last two
+		m.Get(id, 0)
+	}
+	if snap := meter.Snapshot(); snap.MemDecode.Ops != 3 {
+		t.Fatalf("expected 3 decodes, got %+v", snap.MemDecode)
+	}
+	m.Get(ids[2], 0) // cached
+	m.Get(ids[0], 0) // evicted from cache → decodes again
+	snap := meter.Snapshot()
+	if snap.DecodeCacheHits != 1 || snap.MemDecode.Ops != 4 {
+		t.Fatalf("cache bound not enforced: hits=%d decodes=%+v",
+			snap.DecodeCacheHits, snap.MemDecode)
+	}
+}
+
+func TestMemoryStoreZeroCacheDecodesEveryRead(t *testing.T) {
+	RegisterValueType(float64(0))
+	meter := NewMeter()
+	m := NewMemoryStoreReal(1<<20, meter, 0)
+	id := BlockID{1, 0}
+	if _, err := m.Put(id, []dataflow.Record{{Key: 1, Value: 1.0}}, 64, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m.Get(id, 0)
+	}
+	snap := meter.Snapshot()
+	if snap.MemDecode.Ops != 3 || snap.DecodeCacheHits != 0 {
+		t.Fatalf("zero-capacity cache must decode every read: %+v hits=%d",
+			snap.MemDecode, snap.DecodeCacheHits)
+	}
+}
+
+func TestMemoryStoreRemoveEncoded(t *testing.T) {
+	RegisterValueType(float64(0))
+	m := NewMemoryStoreReal(1<<20, nil, 2)
+	id := BlockID{1, 0}
+	recs := []dataflow.Record{{Key: 3, Value: 4.5}}
+	if _, err := m.Put(id, recs, 64, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, size, ok := m.RemoveEncoded(id)
+	if !ok || size != 64 || len(data) == 0 {
+		t.Fatalf("RemoveEncoded = %d bytes, size %d, ok %v", len(data), size, ok)
+	}
+	if m.Contains(id) || m.Used() != 0 {
+		t.Fatal("block still resident after RemoveEncoded")
+	}
+	back, err := DecodeRecords(data)
+	if err != nil || len(back) != 1 || back[0].Value.(float64) != 4.5 {
+		t.Fatalf("encoded payload corrupt: %+v err=%v", back, err)
+	}
+	// PutEncoded re-admits the same bytes without re-encoding.
+	if _, err := m.PutEncoded(id, data, 64, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := m.Get(id, 0)
+	if !ok || got[0].Value.(float64) != 4.5 {
+		t.Fatalf("re-admitted block decoded wrong: %+v", got)
+	}
+}
+
+func TestDiskStoreRealFiles(t *testing.T) {
+	RegisterValueType(float64(0))
+	meter := NewMeter()
+	d := NewDiskStoreReal(t.TempDir(), meter)
+	if !d.Real() {
+		t.Fatal("store not in real mode")
+	}
+	id := BlockID{Dataset: 2, Partition: 3}
+	recs := []dataflow.Record{{Key: 1, Value: 9.5}}
+	if err := d.Put(id, recs, 100); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(d.Dir(), "rdd_2_3.gob")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("block file missing: %v", err)
+	}
+	snap := meter.Snapshot()
+	if snap.DiskWrite.Ops != 1 || snap.DiskWrite.Bytes != info.Size() {
+		t.Fatalf("write not measured: %+v (file %d bytes)", snap.DiskWrite, info.Size())
+	}
+	if snap.FilesWritten != 1 || snap.FileBytesPeak != info.Size() {
+		t.Fatalf("file accounting wrong: files=%d peak=%d", snap.FilesWritten, snap.FileBytesPeak)
+	}
+	if size, ok := d.Size(id); !ok || size != 100 {
+		t.Fatalf("Size = %d, %v", size, ok)
+	}
+
+	got, size, ok := d.Get(id)
+	if !ok || size != 100 || len(got) != 1 || got[0].Value.(float64) != 9.5 {
+		t.Fatalf("get from file wrong: %+v size=%d ok=%v", got, size, ok)
+	}
+	if snap := meter.Snapshot(); snap.DiskRead.Ops != 1 {
+		t.Fatalf("read not measured: %+v", snap.DiskRead)
+	}
+
+	data, _, ok := d.GetEncoded(id)
+	if !ok || int64(len(data)) != info.Size() {
+		t.Fatalf("GetEncoded = %d bytes, ok %v", len(data), ok)
+	}
+
+	if _, ok := d.Remove(id); !ok {
+		t.Fatal("remove failed")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("remove left the file behind: %v", err)
+	}
+}
+
+func TestDiskStorePutEncodedSkipsSerialization(t *testing.T) {
+	RegisterValueType(float64(0))
+	d := NewDiskStoreReal(t.TempDir(), nil)
+	data, err := EncodeRecords([]dataflow.Record{{Key: 5, Value: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := BlockID{1, 1}
+	if err := d.PutEncoded(id, data, 80); err != nil {
+		t.Fatal(err)
+	}
+	got, size, ok := d.Get(id)
+	if !ok || size != 80 || got[0].Value.(float64) != 0.5 {
+		t.Fatalf("encoded put round trip wrong: %+v size=%d ok=%v", got, size, ok)
+	}
+	if err := d.PutEncoded(id, data, 80); err == nil {
+		t.Fatal("duplicate PutEncoded must fail")
+	}
+}
+
+func TestVirtualStoresRejectEncodedAPI(t *testing.T) {
+	m := NewMemoryStore(1 << 10)
+	if _, err := m.PutEncoded(BlockID{1, 0}, []byte("x"), 8, 0, 0); err == nil {
+		t.Fatal("virtual memory store must reject PutEncoded")
+	}
+	d := NewDiskStore()
+	if err := d.PutEncoded(BlockID{1, 0}, []byte("x"), 8); err == nil {
+		t.Fatal("virtual disk store must reject PutEncoded")
+	}
+	if _, _, ok := d.GetEncoded(BlockID{1, 0}); ok {
+		t.Fatal("virtual disk store must not serve GetEncoded")
 	}
 }
