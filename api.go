@@ -53,15 +53,6 @@ func CostOp(c OpClass) CostOpClass { return CostOpClass(c) }
 // scaled-down variant.
 func DefaultCostParams() CostParams { return costmodel.Default() }
 
-// costParamsZero reports whether the by-value RunConfig.CostParams was
-// left unset: a populated parameter set always has record costs and
-// nonzero throughputs.
-func costParamsZero(p CostParams) bool {
-	return p.RecordCost == nil && p.DiskReadBps == 0 && p.DiskWriteBps == 0 &&
-		p.NetworkBps == 0 && p.SerializeBps == 0 && p.SourceBps == 0 &&
-		p.SerFactor == 0 && p.TaskOverhead == 0
-}
-
 // ---------------------------------------------------------------------
 // Metrics
 

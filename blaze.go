@@ -23,6 +23,7 @@ import (
 	"blaze/internal/engine"
 	"blaze/internal/faults"
 	"blaze/internal/metrics"
+	"blaze/internal/server"
 )
 
 // SystemID names a caching system configuration (§7.1 "Systems").
@@ -97,17 +98,16 @@ type RunConfig struct {
 	// ProfileScale is the sample fraction for Blaze's dependency
 	// extraction phase (default 0.02, the analogue of <1 MB samples).
 	ProfileScale float64
-	// CostParams overrides the cost model by value; the zero value uses
-	// EvalParams with the workload's serialization factor. Construct one
-	// with EvalParams or DefaultCostParams and modify fields as needed.
-	CostParams CostParams
-	// Params is the deprecated pointer form of CostParams.
+	// CostParams overrides the cost model by value; the zero value
+	// (CostParams.IsZero) uses EvalParams with the workload's
+	// serialization factor. Construct one with EvalParams or
+	// DefaultCostParams and modify fields as needed.
 	//
-	// Deprecated: use CostParams. A shared *costmodel.Params lets one
-	// run's configuration leak into another when callers reuse the
-	// pointed-to value; the by-value field copies at Run time. When both
-	// are set, CostParams wins.
-	Params *costmodel.Params
+	// The deprecated pointer field Params (*costmodel.Params) has been
+	// removed; assign the pointed-to value here instead — the by-value
+	// field copies at Run time, so runs can never alias each other's
+	// parameters.
+	CostParams CostParams
 	// DiskCapacity, when positive, adds the optional per-executor disk
 	// capacity constraint to the Blaze ILP (Eq. 6 extension).
 	DiskCapacity int64
@@ -157,6 +157,77 @@ func (c RunConfig) withDefaults() RunConfig {
 		c.ProfileScale = 0.02
 	}
 	return c
+}
+
+// Validate checks the configuration without running it: cluster-shape
+// knobs must be non-negative (zero selects the documented default),
+// Scale and ProfileScale must land in their valid ranges once set, the
+// system and workload ids must be known, and an explicit CostParams or
+// Faults config must itself validate. Run and Server.Submit both call
+// it after applying defaults; call it directly to fail fast on
+// configurations built from external input (flags, HTTP payloads).
+func (c RunConfig) Validate() error {
+	if c.Executors < 0 {
+		return fmt.Errorf("blaze: Executors must be >= 0 (0 means default 8), got %d", c.Executors)
+	}
+	if c.Cores < 0 {
+		return fmt.Errorf("blaze: Cores must be >= 0 (0 means default 1), got %d", c.Cores)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("blaze: Parallelism must be >= 0 (0 means all CPUs), got %d", c.Parallelism)
+	}
+	if c.MemoryPerExecutor < 0 {
+		return fmt.Errorf("blaze: MemoryPerExecutor must be >= 0 (0 means calibrated), got %d", c.MemoryPerExecutor)
+	}
+	if c.MemoryFraction < 0 {
+		return fmt.Errorf("blaze: MemoryFraction must be >= 0 (0 means the workload default), got %g", c.MemoryFraction)
+	}
+	if c.Scale < 0 {
+		return fmt.Errorf("blaze: Scale must be positive (0 means default 1.0), got %g", c.Scale)
+	}
+	if c.ProfileScale < 0 || c.ProfileScale > 1 {
+		return fmt.Errorf("blaze: ProfileScale must be in (0, 1] (0 means default 0.02), got %g", c.ProfileScale)
+	}
+	if c.DiskCapacity < 0 {
+		return fmt.Errorf("blaze: DiskCapacity must be >= 0 (0 means unconstrained), got %d", c.DiskCapacity)
+	}
+	if err := validateSystem(c.System); err != nil {
+		return err
+	}
+	if _, err := Workload(c.Workload); err != nil {
+		return err
+	}
+	if !c.CostParams.IsZero() {
+		if err := c.CostParams.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateSystem checks a system id without building its controller
+// (buildSystem profiles the workload for the Blaze systems, which
+// Validate must not do). The case list mirrors buildSystem exactly.
+func validateSystem(sys SystemID) error {
+	switch sys {
+	case SysSparkMem, SysSparkMemDisk, SysSparkAlluxio, SysLRC, SysMRD,
+		SysLRCMem, SysMRDMem, SysAutoCache, SysCostAware,
+		SysBlaze, SysBlazeMem, SysBlazeNoProfile:
+		return nil
+	default:
+		if name, ok := strings.CutPrefix(string(sys), "policy-"); ok {
+			if _, found := cachepolicy.ByName(name); !found {
+				return fmt.Errorf("blaze: unknown eviction policy %q", name)
+			}
+			return nil
+		}
+		return fmt.Errorf("blaze: unknown system %q", sys)
+	}
 }
 
 // Result is the outcome of a run.
@@ -248,17 +319,26 @@ func calibrateMemory(spec WorkloadSpec, execs, cores int, scale float64, params 
 }
 
 // Run executes one workload under one system and returns its metrics.
+//
+// Run is a thin one-application session over the job server: it creates
+// a private single-tenant Server sized exactly like the requested
+// cluster, submits the workload as its only session and waits for it.
+// With one session the server layer adds nothing observable — no
+// quotas, no arbitration, dataset ids starting at 0 — so the metrics
+// and event log are bit-identical to the pre-server standalone engine
+// (the direct path, kept for RealBytes runs, which are incompatible
+// with a shared pool).
 func Run(cfg RunConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := Workload(cfg.Workload)
 	if err != nil {
 		return nil, err
 	}
 	params := EvalParams(spec.SerFactor)
-	if cfg.Params != nil {
-		params = *cfg.Params
-	}
-	if !costParamsZero(cfg.CostParams) {
+	if !cfg.CostParams.IsZero() {
 		params = cfg.CostParams
 	}
 
@@ -285,14 +365,61 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-
 	var hook engine.Hook
 	if cfg.Faults != nil {
-		if err := cfg.Faults.Validate(); err != nil {
-			return nil, err
-		}
 		hook = faults.New(*cfg.Faults)
 	}
+
+	if cfg.RealBytes {
+		return runDirect(cfg, spec, params, mem, sys, hook)
+	}
+
+	srv, err := server.New(server.Config{
+		Executors:         cfg.Executors,
+		CoresPerExecutor:  cfg.Cores,
+		MemoryPerExecutor: mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	var profiling time.Duration
+	if sys.profiled {
+		profiling = core.DefaultProfilingOverhead
+	}
+	sess, err := srv.Submit(server.JobSpec{
+		Driver: func(ctx *dataflow.Context) {
+			if sys.annotated {
+				spec.Annotated(ctx, cfg.Scale)
+			} else {
+				spec.Plain(ctx, cfg.Scale)
+			}
+		},
+		Controller:        sys.ctl,
+		Params:            params,
+		AlluxioMode:       sys.alluxio,
+		ProfilingOverhead: profiling,
+		EventLog:          cfg.EventLog,
+		Hook:              hook,
+		Resilience:        cfg.Resilience,
+		Parallelism:       cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Wait(); err != nil {
+		return nil, err
+	}
+	return &Result{System: cfg.System, Workload: cfg.Workload, Metrics: sess.Metrics(), MemoryPerExecutor: mem}, nil
+}
+
+// runDirect executes the run on a private standalone cluster — the
+// pre-server execution path, retained because RealBytes storage is
+// incompatible with a shared pool (block files and decode caches are
+// scoped to one run). The server path reproduces this path's metrics
+// and event log bit-identically; TestServerRunBitIdentical holds the
+// two together.
+func runDirect(cfg RunConfig, spec WorkloadSpec, params costmodel.Params, mem int64, sys systemSpec, hook engine.Hook) (*Result, error) {
 	ctx := dataflow.NewContext()
 	cluster, err := engine.NewCluster(engine.Config{
 		Executors:         cfg.Executors,

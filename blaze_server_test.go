@@ -1,0 +1,149 @@
+package blaze_test
+
+// End-to-end multi-tenant scenario over the public Server API: three
+// tenants share one executor pool and one cache, each submitting three
+// applications concurrently (nine sessions — the acceptance floor is
+// eight). Every session must complete, no tenant may ever exceed its
+// memory quota, and the cluster-wide ILP arbitration must have run.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"blaze"
+)
+
+func serverMemory(t *testing.T) int64 {
+	t.Helper()
+	res, err := blaze.Run(blaze.RunConfig{
+		System: blaze.SysSparkMemDisk, Workload: blaze.PR,
+		Executors: 4, Scale: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.MemoryPerExecutor
+}
+
+func TestServerMultiTenantScenario(t *testing.T) {
+	mem := serverMemory(t)
+	quota := int64(4) * mem / 2 // half the pool each: three tenants contend
+	srv, err := blaze.NewServer(blaze.ServerConfig{
+		Executors:         4,
+		MemoryPerExecutor: mem,
+		Arbitrate:         true,
+		Tenants: []blaze.TenantConfig{
+			{Name: "analytics", Weight: 2, MemoryQuota: quota},
+			{Name: "ml", Weight: 1, MemoryQuota: quota},
+			{Name: "recsys", Weight: 1, MemoryQuota: quota},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	workloads := map[string]blaze.WorkloadID{
+		"analytics": blaze.PR,
+		"ml":        blaze.KMeans,
+		"recsys":    blaze.SVDPP,
+	}
+	var handles []*blaze.JobHandle
+	for round := 0; round < 3; round++ {
+		for tenant, w := range workloads {
+			h, err := srv.Submit(context.Background(), blaze.JobSpec{
+				Tenant:   tenant,
+				System:   blaze.SysBlaze,
+				Workload: w,
+				Scale:    0.25,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Tenant() != tenant {
+				t.Fatalf("handle tenant = %q, want %q", h.Tenant(), tenant)
+			}
+			handles = append(handles, h)
+		}
+	}
+	if len(handles) < 8 {
+		t.Fatalf("scenario submits %d jobs, acceptance floor is 8", len(handles))
+	}
+
+	for _, h := range handles {
+		res, err := h.Result()
+		if err != nil {
+			t.Fatalf("job %d (%s): %v", h.ID(), h.Tenant(), err)
+		}
+		if res.Metrics == nil || res.ACT() <= 0 {
+			t.Fatalf("job %d: no metrics", h.ID())
+		}
+		if res.MemoryPerExecutor != mem {
+			t.Fatalf("job %d: MemoryPerExecutor = %d, want the pool's %d", h.ID(), res.MemoryPerExecutor, mem)
+		}
+	}
+
+	st := srv.Stats()
+	if st.ActiveSessions != 0 || st.PendingSessions != 0 {
+		t.Fatalf("sessions left over: %+v", st)
+	}
+	if st.Arbitrations == 0 {
+		t.Fatal("nine concurrent Blaze sessions should have triggered cluster-wide arbitration")
+	}
+	for _, ts := range st.Tenants {
+		if ts.Completed != 3 {
+			t.Fatalf("tenant %s completed %d sessions, want 3", ts.Name, ts.Completed)
+		}
+		if ts.QuotaLimit != quota {
+			t.Fatalf("tenant %s quota limit = %d, want %d", ts.Name, ts.QuotaLimit, quota)
+		}
+		if ts.QuotaPeak > ts.QuotaLimit {
+			t.Fatalf("QUOTA VIOLATION: tenant %s peaked at %d bytes against a %d-byte quota", ts.Name, ts.QuotaPeak, ts.QuotaLimit)
+		}
+		if ts.TotalACT <= 0 {
+			t.Fatalf("tenant %s has no aggregate ACT", ts.Name)
+		}
+	}
+}
+
+func TestServerContextCancellation(t *testing.T) {
+	mem := serverMemory(t)
+	srv, err := blaze.NewServer(blaze.ServerConfig{Executors: 2, MemoryPerExecutor: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first job boundary
+	h, err := srv.Submit(ctx, blaze.JobSpec{
+		System: blaze.SysSparkMemDisk, Workload: blaze.PR, Scale: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); !errors.Is(err, blaze.ErrCancelled) {
+		t.Fatalf("Wait = %v, want ErrCancelled", err)
+	}
+	if _, err := h.Result(); !errors.Is(err, blaze.ErrCancelled) {
+		t.Fatalf("Result err = %v, want ErrCancelled", err)
+	}
+}
+
+func TestServerRejectsInvalidSubmissions(t *testing.T) {
+	srv, err := blaze.NewServer(blaze.ServerConfig{Executors: 1, MemoryPerExecutor: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Submit(context.Background(), blaze.JobSpec{System: "nope", Workload: blaze.PR}); err == nil {
+		t.Fatal("unknown system should be rejected at submission")
+	}
+	if _, err := srv.Submit(context.Background(), blaze.JobSpec{System: blaze.SysBlaze, Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload should be rejected at submission")
+	}
+	if _, err := blaze.NewServer(blaze.ServerConfig{Executors: 1}); err == nil {
+		t.Fatal("a server without explicit memory should be rejected")
+	}
+}

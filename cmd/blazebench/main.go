@@ -260,6 +260,7 @@ func main() {
 	parallel := flag.String("parallel", "", "run the multi-core speedup benchmark and write the JSON report to this path")
 	ilpPath := flag.String("ilp", "", "run the exact-optimizer benchmark and write the JSON report to this path")
 	storagePath := flag.String("storage", "", "run the real-bytes storage benchmark (measured vs modeled) and write the JSON report to this path")
+	serverPath := flag.String("server", "", "run the multi-tenant job-server benchmark (shared Blaze cache vs static partitioning) and write the JSON report to this path")
 	faultSpec := flag.String("faults", "", "run the fault soak instead of figures: comma-separated classes (exec, block, shuffle, exec-death, bucket, task-flake, fetch-flake, straggler, permanent, transient, all)")
 	resSpec := flag.String("resilience", "", "resilience knobs for the fault soak: retries=3,fetch-retries=2,backoff=2ms,spec=2,blacklist=3,cooldown=2")
 	workload := flag.String("workload", "pr", "workload for the fault soak: pr, cc, lr, kmeans, gbt, svdpp")
@@ -276,6 +277,20 @@ func main() {
 	}
 	if *storagePath != "" {
 		runStorageBench(*storagePath, *scale)
+		return
+	}
+	if *serverPath != "" {
+		// The server bench's documented operating point is scale 0.5 —
+		// moderate contention, where a shared cache's flexibility pays.
+		// At full scale every arm is capacity-saturated. An explicit
+		// -scale overrides.
+		srvScale := 0.5
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				srvScale = *scale
+			}
+		})
+		runServerBench(*serverPath, *executors, srvScale)
 		return
 	}
 	if *faultSpec != "" {

@@ -1,0 +1,181 @@
+package main
+
+// The job-server benchmark: does one shared, holistically-arbitrated
+// Blaze cache beat static per-tenant partitioning of the same memory?
+//
+// Both arms run the identical multi-tenant scenario — three tenants
+// (pr, kmeans, svdpp), each submitting its workload as concurrent Blaze
+// sessions against one pool. The "static" arm models the conventional
+// deployment: the pool's memory is hard-partitioned into equal
+// per-tenant quotas and every session optimizes alone. The "shared" arm
+// is the Blaze job server: no partitions, and cluster-wide arbitration
+// re-runs each job-start ILP across the union of all admitted sessions'
+// candidates. The figure of merit is aggregate ACT — the sum of every
+// session's application completion time on the shared virtual timeline.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"blaze"
+)
+
+// serverBenchTenant is one tenant of the scenario.
+type serverBenchTenant struct {
+	name     string
+	workload blaze.WorkloadID
+}
+
+var serverBenchTenants = []serverBenchTenant{
+	{"pr", blaze.PR},
+	{"kmeans", blaze.KMeans},
+	{"svdpp", blaze.SVDPP},
+}
+
+// serverArmResult is one arm's outcome.
+type serverArmResult struct {
+	AggregateACTMs int64            `json:"aggregate_act_ms"`
+	PerTenantACTMs map[string]int64 `json:"per_tenant_act_ms"`
+	Arbitrations   int              `json:"arbitrations"`
+	QuotaPeaks     map[string]int64 `json:"quota_peaks,omitempty"`
+}
+
+// serverBenchReport is BENCH_server.json.
+type serverBenchReport struct {
+	Executors         int     `json:"executors"`
+	MemoryPerExecutor int64   `json:"memory_per_executor"`
+	Scale             float64 `json:"scale"`
+	SessionsPerTenant int     `json:"sessions_per_tenant"`
+	// Static hard-partitions the pool into equal per-tenant quotas with
+	// no arbitration; Shared is the Blaze job server.
+	Static serverArmResult `json:"static"`
+	Shared serverArmResult `json:"shared"`
+	// Speedup is static aggregate ACT over shared aggregate ACT.
+	Speedup float64 `json:"speedup"`
+}
+
+// runServerArm executes the scenario on one server configuration and
+// returns the arm's accounting.
+func runServerArm(executors int, mem int64, scale float64, perTenant int, static bool) (serverArmResult, error) {
+	cfg := blaze.ServerConfig{
+		Executors:         executors,
+		MemoryPerExecutor: mem,
+		Arbitrate:         !static,
+	}
+	for _, tn := range serverBenchTenants {
+		tc := blaze.TenantConfig{Name: tn.name}
+		if static {
+			tc.MemoryQuota = int64(executors) * mem / int64(len(serverBenchTenants))
+		}
+		cfg.Tenants = append(cfg.Tenants, tc)
+	}
+	srv, err := blaze.NewServer(cfg)
+	if err != nil {
+		return serverArmResult{}, err
+	}
+	defer srv.Close()
+
+	var handles []*blaze.JobHandle
+	for round := 0; round < perTenant; round++ {
+		for _, tn := range serverBenchTenants {
+			h, err := srv.Submit(context.Background(), blaze.JobSpec{
+				Tenant:   tn.name,
+				System:   blaze.SysBlaze,
+				Workload: tn.workload,
+				Scale:    scale,
+			})
+			if err != nil {
+				return serverArmResult{}, err
+			}
+			handles = append(handles, h)
+		}
+	}
+	for _, h := range handles {
+		if err := h.Wait(); err != nil {
+			return serverArmResult{}, fmt.Errorf("job %d (%s): %w", h.ID(), h.Tenant(), err)
+		}
+	}
+
+	st := srv.Stats()
+	out := serverArmResult{
+		PerTenantACTMs: make(map[string]int64),
+		Arbitrations:   st.Arbitrations,
+	}
+	var agg time.Duration
+	for _, ts := range st.Tenants {
+		agg += ts.TotalACT
+		out.PerTenantACTMs[ts.Name] = ts.TotalACT.Milliseconds()
+		if ts.QuotaLimit > 0 {
+			if out.QuotaPeaks == nil {
+				out.QuotaPeaks = make(map[string]int64)
+			}
+			out.QuotaPeaks[ts.Name] = ts.QuotaPeak
+			if ts.QuotaPeak > ts.QuotaLimit {
+				return serverArmResult{}, fmt.Errorf("tenant %s exceeded its quota: peak %d > limit %d", ts.Name, ts.QuotaPeak, ts.QuotaLimit)
+			}
+		}
+	}
+	out.AggregateACTMs = agg.Milliseconds()
+	return out, nil
+}
+
+// runServerBench runs both arms and writes the report.
+func runServerBench(path string, executors int, scale float64) {
+	// Size the pool for the heaviest tenant's calibrated appetite: a
+	// shared cache can give the whole pool to whichever blocks matter
+	// most, a static partition cannot.
+	var mem int64
+	for _, tn := range serverBenchTenants {
+		res, err := blaze.Run(blaze.RunConfig{
+			System: blaze.SysSparkMemDisk, Workload: tn.workload,
+			Executors: executors, Scale: scale,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: calibrating %s: %v\n", tn.workload, err)
+			os.Exit(1)
+		}
+		if res.MemoryPerExecutor > mem {
+			mem = res.MemoryPerExecutor
+		}
+	}
+
+	const perTenant = 2
+	static, err := runServerArm(executors, mem, scale, perTenant, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: static arm: %v\n", err)
+		os.Exit(1)
+	}
+	shared, err := runServerArm(executors, mem, scale, perTenant, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: shared arm: %v\n", err)
+		os.Exit(1)
+	}
+
+	report := serverBenchReport{
+		Executors:         executors,
+		MemoryPerExecutor: mem,
+		Scale:             scale,
+		SessionsPerTenant: perTenant,
+		Static:            static,
+		Shared:            shared,
+	}
+	if shared.AggregateACTMs > 0 {
+		report.Speedup = float64(static.AggregateACTMs) / float64(shared.AggregateACTMs)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("job-server bench: static %d ms vs shared %d ms aggregate ACT (%.2fx, %d arbitrations) -> %s\n",
+		report.Static.AggregateACTMs, report.Shared.AggregateACTMs, report.Speedup, shared.Arbitrations, path)
+}

@@ -89,6 +89,19 @@ type Controller struct {
 	// near-match seeds the branch and bound with the previous assignment
 	// as its incumbent. Indexed by executor ID; driver-context only.
 	ilpMemo []*solveMemo
+
+	// arbiter, when set, is offered every job-start ILP trigger so a
+	// multi-tenant server can re-run the optimization across the union
+	// of all admitted sessions' candidates (see GlobalArbiter).
+	arbiter JobArbiter
+}
+
+// JobArbiter intercepts a controller's job-start ILP trigger.
+// ArbitrateJobStart either performs a (typically cluster-wide) solve
+// covering the triggering controller and returns true, or returns false
+// to let the controller run its session-local solve.
+type JobArbiter interface {
+	ArbitrateJobStart(trigger *Controller) bool
 }
 
 // New creates a Blaze controller with explicit features (used by the
@@ -157,6 +170,21 @@ func (b *Controller) WithWindow(jobs int) *Controller {
 	}
 	return b
 }
+
+// WithArbiter installs a job arbiter consulted on every job-start ILP
+// trigger (nil detaches). GlobalArbiter.Register/Unregister call this;
+// direct use is for tests.
+func (b *Controller) WithArbiter(a JobArbiter) *Controller {
+	b.arbiter = a
+	return b
+}
+
+// ILPEnabled reports whether this controller runs the optimizer at all
+// — only such controllers are worth registering with an arbiter.
+func (b *Controller) ILPEnabled() bool { return b.feat.ILP }
+
+// Cluster returns the bound cluster (nil before Bind).
+func (b *Controller) Cluster() *engine.Cluster { return b.c }
 
 // Window returns the configured ILP window in jobs (0 = current job
 // only).
@@ -287,7 +315,13 @@ func (b *Controller) OnJobStart(j *engine.Job) {
 	}
 
 	if b.feat.ILP {
-		b.runILP()
+		// A registered arbiter may supersede the session-local solve with
+		// a cluster-wide one over every admitted session's candidates; it
+		// declines (returns false) when it has nothing to add — e.g. a
+		// single registered session — and the local solve runs as before.
+		if b.arbiter == nil || !b.arbiter.ArbitrateJobStart(b) {
+			b.runILP()
+		}
 	}
 }
 
@@ -457,7 +491,18 @@ func (b *Controller) victimOrder(ex *engine.Executor) []*storage.BlockMeta {
 	est.Reset()
 	for _, m := range blocks {
 		n := b.lin.Node(m.ID.Dataset)
-		if n == nil || b.futureRefs(m.ID.Dataset) == 0 {
+		if n == nil {
+			// Outside this session's lineage. Standalone that means no
+			// future benefit; in a shared pool the block belongs to
+			// another live session, so keep the cost its owner last
+			// stamped (its victimOrder or an ILP solve) instead of
+			// pricing the neighbor's cache at zero and churning it.
+			if !b.c.SharedPool() {
+				m.Cost = 0
+			}
+			continue
+		}
+		if b.futureRefs(m.ID.Dataset) == 0 {
 			m.Cost = 0 // no future benefit: free to evict
 			continue
 		}
@@ -496,9 +541,16 @@ func (b *Controller) SelectVictims(ex *engine.Executor, need int64) []engine.Vic
 		toDisk := b.feat.DiskEnabled
 		if b.feat.ILP && toDisk {
 			n := b.lin.Node(m.ID.Dataset)
-			toDisk = n != nil && m.Cost > 0 && b.futureRefs(m.ID.Dataset) > 0 &&
-				est.PreferDiskAt(n, m.ID.Partition, b.horizonFor(n, m.ID.Dataset)) &&
-				b.diskBudgetAllows(ex, m.Size)
+			if n == nil && b.c.SharedPool() {
+				// Another session's block: its owner can still recover it
+				// from disk, so a valuable foreign victim spills rather
+				// than vanishing.
+				toDisk = m.Cost > 0 && b.diskBudgetAllows(ex, m.Size)
+			} else {
+				toDisk = n != nil && m.Cost > 0 && b.futureRefs(m.ID.Dataset) > 0 &&
+					est.PreferDiskAt(n, m.ID.Partition, b.horizonFor(n, m.ID.Dataset)) &&
+					b.diskBudgetAllows(ex, m.Size)
+			}
 		}
 		out = append(out, engine.Victim{ID: m.ID, ToDisk: toDisk})
 		freed += m.Size

@@ -58,33 +58,56 @@ func (b *Controller) runILP() {
 		b.priceCandidates(cands, hypo)
 		chosen = b.solve(ex, cands)
 
-		// Record targets and migrate existing blocks.
-		for i, c := range cands {
-			var tgt engine.Placement
-			switch {
-			case chosen[i]:
-				tgt = engine.PlaceMemory
-			case b.feat.DiskEnabled && c.costD > 0 && c.costD < c.costR:
-				tgt = engine.PlaceDisk
-			default:
-				tgt = engine.PlaceNone
-			}
-			b.targetState[c.id] = tgt
+		b.applyAssignment(ex, cands, chosen)
+	}
+}
 
-			switch {
-			case c.inMem && tgt == engine.PlaceDisk:
-				if !b.diskBudgetAllows(ex, c.size) {
-					b.c.DropBlock(ex, c.id)
-					b.targetState[c.id] = engine.PlaceNone
-					continue
+// applyAssignment records the target states of a solved memory
+// assignment and migrates existing blocks accordingly: spills (m→d),
+// unpersists (m→u, d→u) and promotions (d→m). Shared by the
+// per-executor runILP and by cluster-wide arbitration, which solves the
+// union of several sessions' candidates and applies each session's
+// slice through its own controller.
+func (b *Controller) applyAssignment(ex *engine.Executor, cands []candidate, chosen []bool) {
+	for i, c := range cands {
+		var tgt engine.Placement
+		switch {
+		case chosen[i]:
+			tgt = engine.PlaceMemory
+		case b.feat.DiskEnabled && c.costD > 0 && c.costD < c.costR:
+			tgt = engine.PlaceDisk
+		default:
+			tgt = engine.PlaceNone
+		}
+		b.targetState[c.id] = tgt
+
+		switch {
+		case c.inMem && tgt == engine.PlaceDisk:
+			if !b.diskBudgetAllows(ex, c.size) {
+				b.c.DropBlock(ex, c.id)
+				b.targetState[c.id] = engine.PlaceNone
+				continue
+			}
+			b.c.SpillBlock(ex, c.id)
+		case c.inMem && tgt == engine.PlaceNone:
+			b.c.DropBlock(ex, c.id)
+		case !c.inMem && c.onDisk && tgt == engine.PlaceMemory:
+			b.c.PromoteBlock(ex, c.id, true)
+		case c.onDisk && tgt == engine.PlaceNone:
+			b.c.DropBlock(ex, c.id)
+		}
+
+		// Stamp the solve's price on the resident metadata. Within one
+		// session the next victimOrder recomputes it anyway; in a shared
+		// pool the stamp is what other sessions' cost-aware eviction
+		// sees, so a fresh price must survive every solve.
+		if tgt == engine.PlaceMemory {
+			if m, ok := ex.Mem.Peek(c.id); ok {
+				cost := c.costR
+				if b.feat.DiskEnabled && c.costD > 0 && c.costD < cost {
+					cost = c.costD
 				}
-				b.c.SpillBlock(ex, c.id)
-			case c.inMem && tgt == engine.PlaceNone:
-				b.c.DropBlock(ex, c.id)
-			case !c.inMem && c.onDisk && tgt == engine.PlaceMemory:
-				b.c.PromoteBlock(ex, c.id, true)
-			case c.onDisk && tgt == engine.PlaceNone:
-				b.c.DropBlock(ex, c.id)
+				m.Cost = cost
 			}
 		}
 	}

@@ -14,6 +14,7 @@ package costmodel
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 )
 
@@ -96,6 +97,15 @@ func Default() Params {
 		},
 		TaskOverhead: 2 * time.Millisecond,
 	}
+}
+
+// IsZero reports whether the parameter set is the zero value — i.e. was
+// never populated. Callers use it to distinguish "use the default model"
+// from an explicit override. Implemented by deep equality against the
+// zero Params so a newly added field can never be silently excluded from
+// the check (the failure mode of a hand-written field list).
+func (p Params) IsZero() bool {
+	return reflect.DeepEqual(p, Params{})
 }
 
 // Validate reports an error if any throughput or cost is non-positive,

@@ -151,13 +151,36 @@ type JobRunner interface {
 type Context struct {
 	nextID      int
 	nextShuffle int
-	runner      JobRunner
-	datasets    []*Dataset
+	// idBase offsets the dataset ids this context assigns. Contexts
+	// sharing one executor pool (the multi-tenant job server) get
+	// disjoint id ranges so their blocks never collide in the shared
+	// block stores; a standalone context uses base 0.
+	idBase   int
+	runner   JobRunner
+	datasets []*Dataset
 }
 
 // NewContext returns an empty driver context. The engine attaches itself
 // with SetRunner before any action runs.
 func NewContext() *Context { return &Context{} }
+
+// SetIDBase offsets all dataset ids subsequently created in this context
+// by base, giving contexts that share executor block stores disjoint id
+// ranges. Must be called before any dataset is created.
+func (c *Context) SetIDBase(base int) {
+	if len(c.datasets) > 0 {
+		panic("dataflow: SetIDBase after datasets were created")
+	}
+	if base < 0 {
+		panic(fmt.Sprintf("dataflow: negative id base %d", base))
+	}
+	c.idBase = base
+	c.nextID = base
+}
+
+// IDBase returns the context's dataset-id base (0 unless SetIDBase was
+// called).
+func (c *Context) IDBase() int { return c.idBase }
 
 // SetRunner installs the job runner (the engine).
 func (c *Context) SetRunner(r JobRunner) { c.runner = r }
@@ -171,10 +194,11 @@ func (c *Context) Datasets() []*Dataset { return c.datasets }
 
 // Dataset looks up a dataset by id; nil if unknown.
 func (c *Context) Dataset(id int) *Dataset {
-	if id < 0 || id >= len(c.datasets) {
+	idx := id - c.idBase
+	if idx < 0 || idx >= len(c.datasets) {
 		return nil
 	}
-	return c.datasets[id]
+	return c.datasets[idx]
 }
 
 func (c *Context) newDataset(name string, parts int, deps []Dependency, class OpClass, fn ComputeFunc) *Dataset {

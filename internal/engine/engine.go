@@ -16,6 +16,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -261,6 +264,18 @@ type Config struct {
 	// files (default: the OS temp dir). The run creates and owns a
 	// unique subdirectory inside it.
 	StorageDir string
+	// Pool attaches the cluster to a shared executor pool instead of
+	// creating private executors: Executors, CoresPerExecutor and
+	// MemoryPerExecutor are ignored (the pool's shape wins), the pool's
+	// stores and clocks are shared with every other attached cluster,
+	// and jobs serialize through Gate (or the pool's own lock).
+	// Incompatible with RealBytes.
+	Pool *Pool
+	// Gate, when non-nil (requires Pool), brokers job admission: the
+	// engine calls Gate.AcquireJob/ReleaseJob around each job instead of
+	// locking the pool directly, letting a server impose fair-share
+	// ordering across sessions.
+	Gate JobGate
 }
 
 // Resilience configures how the scheduler absorbs transient failures —
@@ -297,6 +312,33 @@ type Resilience struct {
 	// executor sits out before reinstatement (default 2 when blacklisting
 	// is enabled).
 	BlacklistCooldown int
+}
+
+// String renders the configuration in the knob vocabulary blaze's
+// ParseResilience accepts ("retries=3,backoff=2ms,..."), emitting only
+// the fields that differ from the zero value so String/Parse round-trip
+// exactly: the zero value renders as "".
+func (r Resilience) String() string {
+	var parts []string
+	if r.MaxTaskRetries != 0 {
+		parts = append(parts, fmt.Sprintf("retries=%d", r.MaxTaskRetries))
+	}
+	if r.MaxFetchRetries != 0 {
+		parts = append(parts, fmt.Sprintf("fetch-retries=%d", r.MaxFetchRetries))
+	}
+	if r.RetryBackoff != 0 {
+		parts = append(parts, fmt.Sprintf("backoff=%s", r.RetryBackoff))
+	}
+	if r.SpeculativeMultiple != 0 {
+		parts = append(parts, fmt.Sprintf("spec=%s", strconv.FormatFloat(r.SpeculativeMultiple, 'g', -1, 64)))
+	}
+	if r.BlacklistAfter != 0 {
+		parts = append(parts, fmt.Sprintf("blacklist=%d", r.BlacklistAfter))
+	}
+	if r.BlacklistCooldown != 0 {
+		parts = append(parts, fmt.Sprintf("cooldown=%d", r.BlacklistCooldown))
+	}
+	return strings.Join(parts, ",")
 }
 
 // normalized resolves the zero-value defaults and negative sentinels.
@@ -467,6 +509,24 @@ type Cluster struct {
 	// storageDir is the run-scoped directory holding RealBytes block
 	// files, removed by Close ("" in virtual mode).
 	storageDir string
+
+	// pool, gate and quota are set when the cluster leases a shared
+	// executor pool (Config.Pool): jobs serialize through gate (or the
+	// pool's lock), and memory admissions answer to quota. inJob marks
+	// that this cluster currently holds pool exclusivity via the job
+	// path, so driver-path accessors must not re-acquire it.
+	pool  *Pool
+	gate  JobGate
+	quota storage.QuotaController
+	inJob bool
+	// startTime is the pool timeline's Now at session creation; pooled
+	// ACT is measured from it, so a session admitted late is not charged
+	// for history it never saw (but is charged for contention while it
+	// runs, which the shared clocks impose naturally).
+	startTime time.Duration
+	// diskBase snapshots each pool executor's cumulative disk-written
+	// bytes at session creation; Finish reports the session's delta.
+	diskBase []int64
 }
 
 // taskTrace buffers one task's externally ordered side effects during
@@ -483,6 +543,16 @@ type taskTrace struct {
 // NewCluster creates a cluster bound to the context and installs itself
 // as the context's job runner.
 func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
+	if cfg.Pool != nil {
+		if cfg.RealBytes {
+			return nil, fmt.Errorf("engine: RealBytes is incompatible with a shared pool")
+		}
+		cfg.Executors = cfg.Pool.Config().Executors
+		cfg.CoresPerExecutor = cfg.Pool.Config().CoresPerExecutor
+		cfg.MemoryPerExecutor = cfg.Pool.Config().MemoryPerExecutor
+	} else if cfg.Gate != nil {
+		return nil, fmt.Errorf("engine: a job gate requires a shared pool")
+	}
 	if cfg.Executors <= 0 {
 		return nil, fmt.Errorf("engine: need at least one executor, got %d", cfg.Executors)
 	}
@@ -523,6 +593,37 @@ func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
 		c.taskHook = th
 	}
 	c.curTrace = make([]*taskTrace, cfg.Executors)
+	if cfg.Pool != nil {
+		c.pool = cfg.Pool
+		c.gate = cfg.Gate
+		c.quota = cfg.Pool.Quota()
+		c.execs = cfg.Pool.Executors()
+		c.pool.Acquire()
+		// Session baselines: pooled ACT and disk-written bytes are deltas
+		// from the session's admission instant on the shared timeline.
+		c.startTime = c.Now()
+		c.diskBase = make([]int64, len(c.execs))
+		live := make([]int, 0, len(c.execs))
+		for i, ex := range c.execs {
+			c.diskBase[i] = ex.Disk.TotalWritten()
+			if !ex.dead {
+				live = append(live, i)
+			}
+		}
+		c.pool.Release()
+		if len(live) == 0 {
+			return nil, fmt.Errorf("engine: shared pool has no live executors")
+		}
+		// Home partitions round-robin over the live executors, so a
+		// session admitted after an executor death never schedules tasks
+		// onto a dead executor.
+		for i := range c.assign {
+			c.assign[i] = live[i%len(live)]
+		}
+		ctx.SetRunner(c)
+		c.ctl.Bind(c)
+		return c, nil
+	}
 	cores := cfg.CoresPerExecutor
 	if cores <= 0 {
 		cores = 1
@@ -566,6 +667,33 @@ func NewCluster(cfg Config, ctx *dataflow.Context) (*Cluster, error) {
 
 // Context returns the driver context.
 func (c *Cluster) Context() *dataflow.Context { return c.ctx }
+
+// SharedPool reports whether this cluster leases a shared executor pool
+// (a multi-session job server), where other sessions' blocks live in
+// the same stores. Controllers consult it to avoid pricing a
+// neighbor's cache at zero.
+func (c *Cluster) SharedPool() bool { return c.pool != nil }
+
+// DropNamespaceBlocks silently removes every resident block whose
+// dataset id falls in [lo, hi) from all pool executors — no events, no
+// metric or clock charges. The job server calls it when a session
+// exits, so a dead application's blocks stop occupying (and, with
+// their stamped costs, defending) the shared cache. The caller must
+// hold pool exclusivity; quota bytes are released through the stores.
+func (c *Cluster) DropNamespaceBlocks(lo, hi int) {
+	for _, ex := range c.execs {
+		for _, m := range ex.Mem.Blocks() {
+			if m.ID.Dataset >= lo && m.ID.Dataset < hi {
+				ex.Mem.Remove(m.ID)
+			}
+		}
+		for _, id := range ex.Disk.Blocks() {
+			if id.Dataset >= lo && id.Dataset < hi {
+				ex.Disk.Remove(id)
+			}
+		}
+	}
+}
 
 // Executors returns all executors, dead ones included (their stats and
 // stores remain addressable by index).
@@ -715,9 +843,26 @@ func (c *Cluster) Now() time.Duration {
 	return t
 }
 
+// lockDriver serializes a driver-path mutation (Finish, Unpersist,
+// Release, DropDataset) against a shared pool. Inside a job the gate
+// already holds pool exclusivity, and standalone clusters own their
+// executors outright; both cases need no locking.
+func (c *Cluster) lockDriver() func() {
+	if c.pool == nil || c.inJob {
+		return func() {}
+	}
+	c.pool.Acquire()
+	return c.pool.Release
+}
+
 // Finish seals the run: synchronizes clocks, records the ACT and final
-// storage statistics. Call once after the workload completes.
+// storage statistics. Call once after the workload completes. On a
+// shared pool the session's ACT is measured from its admission instant
+// and its disk-written bytes are the session's delta; per-executor
+// DiskPeakBytes remains the pool-lifetime peak (the stores are shared).
 func (c *Cluster) Finish() *metrics.App {
+	unlock := c.lockDriver()
+	defer unlock()
 	end := c.Now()
 	for _, ex := range c.execs {
 		if ex.dead {
@@ -725,10 +870,18 @@ func (c *Cluster) Finish() *metrics.App {
 		}
 		ex.SyncTo(end)
 	}
-	c.met.ACT = end + c.met.ProfilingTime
+	act := end
+	if c.pool != nil {
+		act -= c.startTime
+	}
+	c.met.ACT = act + c.met.ProfilingTime
 	c.met.DiskBytesWritten = 0
 	for i, ex := range c.execs {
-		c.met.DiskBytesWritten += ex.Disk.TotalWritten()
+		written := ex.Disk.TotalWritten()
+		if c.diskBase != nil {
+			written -= c.diskBase[i]
+		}
+		c.met.DiskBytesWritten += written
 		// Per-executor peaks are reported separately; the cluster-wide
 		// DiskPeakBytes is maintained on every disk write, because the
 		// executors' individual peaks occur at different virtual times
@@ -764,7 +917,9 @@ func (c *Cluster) Unpersist(d *dataflow.Dataset) {
 // outputs computed from the dataset, like Spark's ContextCleaner when an
 // RDD goes out of scope.
 func (c *Cluster) Release(d *dataflow.Dataset) {
-	c.DropDataset(d)
+	unlock := c.lockDriver()
+	defer unlock()
+	c.dropDataset(d)
 	for _, ds := range c.ctx.Datasets() {
 		for _, dep := range ds.Deps() {
 			if dep.Shuffle && dep.Parent == d {
@@ -781,6 +936,12 @@ func (c *Cluster) Release(d *dataflow.Dataset) {
 // DropDataset removes all cached blocks of a dataset (an unpersist: the
 // transition m→u or d→u, which is free of I/O).
 func (c *Cluster) DropDataset(d *dataflow.Dataset) {
+	unlock := c.lockDriver()
+	defer unlock()
+	c.dropDataset(d)
+}
+
+func (c *Cluster) dropDataset(d *dataflow.Dataset) {
 	dropped := false
 	for _, ex := range c.execs {
 		for p := 0; p < d.Partitions(); p++ {
@@ -927,6 +1088,11 @@ func (c *Cluster) PromoteBlock(ex *Executor, id storage.BlockID, chargeClock boo
 	if size > ex.Mem.Capacity() {
 		return false
 	}
+	if !c.quotaReclaim(ex, id, size) {
+		// Checked before any cost is charged: a promotion the tenant
+		// quota refuses must not advance the clock for phantom I/O.
+		return false
+	}
 	if !c.ensureFree(ex, size) {
 		return false
 	}
@@ -957,6 +1123,54 @@ func (c *Cluster) PromoteBlock(ex *Executor, id storage.BlockID, chargeClock boo
 	}
 	c.ctl.OnBlockAdmitted(ex, id)
 	return true
+}
+
+// quotaReclaim checks the pool's tenant quota for admitting size bytes
+// of id, and — when the owner's limit is exhausted — evicts the owner's
+// own coldest memory blocks across the pool (LRU by last access, ties
+// by insertion order) until the admission fits. Returns false when the
+// quota still refuses; the caller must then skip the memory admission
+// without charging any cost. Always true without a quota.
+func (c *Cluster) quotaReclaim(ex *Executor, id storage.BlockID, size int64) bool {
+	q := c.quota
+	if q == nil || q.Allows(id, size) {
+		return true
+	}
+	owner := q.Owner(id)
+	if owner == "" {
+		return false
+	}
+	type victim struct {
+		ex   *Executor
+		meta *storage.BlockMeta
+	}
+	var victims []victim
+	for _, pex := range c.execs {
+		if pex.dead {
+			continue
+		}
+		for _, m := range pex.Mem.Blocks() {
+			if m.ID == id || q.Owner(m.ID) != owner {
+				continue
+			}
+			victims = append(victims, victim{pex, m})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].meta.LastAccess != victims[j].meta.LastAccess {
+			return victims[i].meta.LastAccess < victims[j].meta.LastAccess
+		}
+		return victims[i].meta.InsertSeq < victims[j].meta.InsertSeq
+	})
+	for _, v := range victims {
+		if q.Allows(id, size) {
+			break
+		}
+		if c.dropFromMemory(v.ex, v.meta.ID) {
+			c.met.IncQuotaEviction()
+		}
+	}
+	return q.Allows(id, size)
 }
 
 // ensureFree evicts controller-chosen victims until at least required

@@ -47,6 +47,13 @@ func (c *Cluster) parallelPlan(st *Stage, taskParts []int) (map[*Executor][]int,
 	if c.cfg.RealBytes {
 		return nil, nil
 	}
+	// Quota-enforced pools charge a cluster-wide tenant ledger on the
+	// admission path and may reclaim blocks on *other* executors;
+	// concurrent workers would race those admission outcomes, so
+	// quota-enforced stages always take the sequential loop.
+	if c.quota != nil {
+		return nil, nil
+	}
 	var caps ParallelCaps
 	if pc, ok := c.ctl.(ParallelCapable); ok {
 		caps = pc.ParallelCaps()

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"blaze/internal/costmodel"
+	"blaze/internal/storage"
+)
+
+// Pool is a set of executors shared by many concurrently admitted
+// applications — the substrate of the multi-tenant job server. Each
+// application binds its own Cluster (with its own controller, metrics
+// and event log) to the pool instead of creating private executors, so
+// every session's blocks live in the same memory/disk stores and every
+// session's tasks advance the same virtual clocks: the pool's timeline
+// is one global schedule, and one session's caching pressure is
+// directly visible to every other session's controller.
+//
+// The pool itself does no scheduling. Exclusivity is a single mutex:
+// exactly one session executes a job (or a driver-path mutation like
+// Finish/Unpersist) at a time, acquired through Acquire/Release —
+// usually indirectly, via the JobGate a server installs on each
+// cluster. Jobs are the paper's scheduling unit, so serializing them
+// preserves the engine's single-driver execution model while still
+// interleaving sessions at job granularity.
+type Pool struct {
+	mu    sync.Mutex
+	cfg   PoolConfig
+	execs []*Executor
+}
+
+// PoolConfig describes a shared executor pool.
+type PoolConfig struct {
+	// Executors is the number of executors (E) shared by all sessions.
+	Executors int
+	// CoresPerExecutor is the number of task slots per executor
+	// (default 1).
+	CoresPerExecutor int
+	// MemoryPerExecutor is the memory-store capacity per executor.
+	MemoryPerExecutor int64
+	// Quota, when non-nil, is charged for every block admitted to any
+	// executor's memory store, enforcing cluster-wide per-tenant memory
+	// limits (storage.TenantQuota is the server's implementation).
+	Quota storage.QuotaController
+}
+
+// NewPool creates the shared executors. Pools are virtual-time only:
+// RealBytes clusters cannot attach to one.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Executors <= 0 {
+		return nil, fmt.Errorf("engine: pool needs at least one executor, got %d", cfg.Executors)
+	}
+	if cfg.MemoryPerExecutor <= 0 {
+		return nil, fmt.Errorf("engine: pool memory per executor must be positive, got %d", cfg.MemoryPerExecutor)
+	}
+	cores := cfg.CoresPerExecutor
+	if cores <= 0 {
+		cores = 1
+	}
+	p := &Pool{cfg: cfg}
+	for i := 0; i < cfg.Executors; i++ {
+		ex := &Executor{
+			ID:    i,
+			cores: make([]costmodel.Clock, cores),
+			Mem:   storage.NewMemoryStore(cfg.MemoryPerExecutor),
+			Disk:  storage.NewDiskStore(),
+		}
+		if cfg.Quota != nil {
+			ex.Mem.SetQuota(cfg.Quota)
+		}
+		p.execs = append(p.execs, ex)
+	}
+	return p, nil
+}
+
+// Acquire takes the pool's exclusivity lock; every job execution and
+// every driver-path mutation of pool state runs under it.
+func (p *Pool) Acquire() { p.mu.Lock() }
+
+// Release drops the exclusivity lock.
+func (p *Pool) Release() { p.mu.Unlock() }
+
+// Executors returns the shared executor set (stable identity and
+// order for the pool's lifetime).
+func (p *Pool) Executors() []*Executor { return p.execs }
+
+// Quota returns the pool's tenant quota controller (nil when
+// unenforced).
+func (p *Pool) Quota() storage.QuotaController { return p.cfg.Quota }
+
+// Config returns the pool's configuration.
+func (p *Pool) Config() PoolConfig { return p.cfg }
+
+// JobGate serializes job execution across the sessions of a shared
+// pool and decides their order. The engine calls AcquireJob before a
+// job's first event and ReleaseJob after its last; a fair-share server
+// implements admission (weighted round-robin across tenants) behind
+// AcquireJob and must leave the pool's exclusivity lock held on
+// return. Without a gate, a pooled cluster falls back to bare
+// Pool.Acquire/Release (FIFO mutex order).
+type JobGate interface {
+	AcquireJob(c *Cluster)
+	ReleaseJob(c *Cluster)
+}

@@ -158,6 +158,8 @@ func (c *Cluster) buildJob(target *dataflow.Dataset) *Job {
 // RunJob implements dataflow.JobRunner: build the stage DAG, run stages
 // in topological order with barriers, and return the result partitions.
 func (c *Cluster) RunJob(target *dataflow.Dataset, action string) [][]dataflow.Record {
+	c.beginJob()
+	defer c.endJob()
 	if debugEvict {
 		missing := []int{}
 		for p := 0; p < target.Partitions(); p++ {
@@ -193,6 +195,43 @@ func (c *Cluster) RunJob(target *dataflow.Dataset, action string) [][]dataflow.R
 	}
 	c.emit(eventlog.Event{Kind: eventlog.JobEnd, Time: c.Now(), Job: job.ID})
 	return results
+}
+
+// beginJob takes pool exclusivity for one job when the cluster leases a
+// shared pool: through the server's gate when one is installed (which
+// may park the session until fair-share admission picks it), else the
+// pool's own lock. Nested stage regenerations go through runStage, not
+// RunJob, so the job-level bracket is never re-entered. Standalone
+// clusters are unaffected.
+func (c *Cluster) beginJob() {
+	if c.pool == nil {
+		return
+	}
+	if c.gate != nil {
+		c.gate.AcquireJob(c)
+	} else {
+		c.pool.Acquire()
+	}
+	c.inJob = true
+}
+
+// endJob releases pool exclusivity after a job. A gate that rejects
+// admission by panicking out of AcquireJob (session cancellation) must
+// leave the pool unlocked itself: the panic propagates before inJob is
+// set, so this deferred release is a no-op then.
+func (c *Cluster) endJob() {
+	if c.pool == nil {
+		return
+	}
+	if !c.inJob {
+		return
+	}
+	c.inJob = false
+	if c.gate != nil {
+		c.gate.ReleaseJob(c)
+	} else {
+		c.pool.Release()
+	}
 }
 
 // runStage executes one stage's tasks on their home executors and
@@ -701,6 +740,18 @@ func (c *Cluster) admitToMemory(ex *Executor, id storage.BlockID, recs []dataflo
 		return false
 	}
 	if size > ex.Mem.Capacity() {
+		return false
+	}
+	if !c.quotaReclaim(ex, id, size) {
+		// Tenant quota exhausted even after evicting the tenant's own
+		// coldest blocks: refuse the admission before any cost is
+		// charged. The block falls through to the controller's fallback
+		// placement (disk for MEM+DISK systems) like any admission
+		// failure.
+		c.met.IncQuotaRejection()
+		c.emitEx(ex, eventlog.Event{Kind: eventlog.QuotaRejected, Time: ex.Clock().Now(), Job: c.curJob,
+			Executor: ex.ID, Dataset: id.Dataset, Partition: id.Partition, Bytes: size,
+			Tenant: c.quota.Owner(id)})
 		return false
 	}
 	if !c.ensureFree(ex, size) {

@@ -79,6 +79,19 @@ const (
 	// relaxation or budget exhaustion), and Reused whether the answer
 	// came from the cross-job solution memo without searching.
 	ILPSolve Kind = "ilp_solve"
+	// QuotaRejected records a memory admission refused because it would
+	// push the owning tenant (Tenant) past its cluster-wide quota;
+	// same-tenant quota evictions could not free enough charged bytes.
+	QuotaRejected Kind = "quota_rejected"
+	// SessionStart and SessionEnd bracket one application session on the
+	// multi-tenant job server's own log: Session identifies the session,
+	// Tenant its owner.
+	SessionStart Kind = "session_start"
+	SessionEnd   Kind = "session_end"
+	// Arbitration records one cluster-wide ILP arbitration across the
+	// union of admitted jobs' candidate sets: Count carries the number of
+	// participating sessions, Vars the total union candidates priced.
+	Arbitration Kind = "arbitration"
 )
 
 // Event is one log record. Fields are populated according to Kind; zero
@@ -128,6 +141,12 @@ type Event struct {
 	Optimal  bool `json:"optimal,omitempty"`
 	Fallback bool `json:"fallback,omitempty"`
 	Reused   bool `json:"reused,omitempty"`
+	// Tenant and Session identify multi-tenant scopes on job-server
+	// events (QuotaRejected, SessionStart/End, Arbitration). Both are
+	// empty on single-application runs, keeping their logs byte-identical
+	// to builds that predate the job server.
+	Tenant  string `json:"tenant,omitempty"`
+	Session int    `json:"session,omitempty"`
 }
 
 // Log is an in-memory, append-only event log.

@@ -197,6 +197,19 @@ type App struct {
 	Jobs          int
 	RanStages     int
 	SkippedStages int
+
+	// Tenant names the owning tenant when the application ran as a
+	// session on the multi-tenant job server ("" for standalone runs and
+	// for the server's default tenant).
+	Tenant string
+
+	// QuotaRejections counts memory admissions refused because the
+	// tenant's cluster-wide quota was exhausted even after same-tenant
+	// quota evictions; QuotaEvictions counts the same-tenant blocks
+	// dropped to make room under the quota. Both stay zero outside the
+	// job server's quota-enforced pools.
+	QuotaRejections int
+	QuotaEvictions  int
 }
 
 // NewApp creates metrics for a cluster with the given executor count.
@@ -348,6 +361,22 @@ func (a *App) AddSpeculative(win bool) {
 func (a *App) AddStragglerSlowdown(d time.Duration) {
 	a.mu.Lock()
 	a.StragglerSlowdownTime += d
+	a.mu.Unlock()
+}
+
+// IncQuotaRejection counts one memory admission refused under a tenant
+// quota (task path, locked).
+func (a *App) IncQuotaRejection() {
+	a.mu.Lock()
+	a.QuotaRejections++
+	a.mu.Unlock()
+}
+
+// IncQuotaEviction counts one same-tenant block dropped to make room
+// under a tenant quota (task path, locked).
+func (a *App) IncQuotaEviction() {
+	a.mu.Lock()
+	a.QuotaEvictions++
 	a.mu.Unlock()
 }
 

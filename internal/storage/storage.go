@@ -183,6 +183,11 @@ type MemoryStore struct {
 	cacheCap int
 	cache    map[BlockID][]dataflow.Record
 	cacheLRU []BlockID // oldest first
+
+	// quota, when set, charges every admission to the owning tenant's
+	// account and refuses admissions past the tenant's limit (shared-pool
+	// multi-tenancy). Nil leaves admission behavior exactly as before.
+	quota QuotaController
 }
 
 // NewMemoryStore creates a virtual-mode store with the given capacity in
@@ -208,6 +213,13 @@ func NewMemoryStoreReal(capacity int64, meter *Meter, decodeCacheBlocks int) *Me
 
 // Real reports whether the store holds serialized bytes.
 func (m *MemoryStore) Real() bool { return m.real }
+
+// SetQuota attaches a per-tenant quota controller; admissions charge the
+// owning tenant and fail past its limit. Call before any block is stored.
+func (m *MemoryStore) SetQuota(q QuotaController) { m.quota = q }
+
+// Quota returns the attached quota controller (nil when none).
+func (m *MemoryStore) Quota() QuotaController { return m.quota }
 
 // Capacity returns the configured capacity.
 func (m *MemoryStore) Capacity() int64 { return m.capacity }
@@ -338,6 +350,11 @@ func (m *MemoryStore) putEntry(id BlockID, recs []dataflow.Record, data []byte, 
 	if size > m.Free() {
 		return nil, fmt.Errorf("storage: block %v (%d bytes) exceeds free memory (%d bytes)", id, size, m.Free())
 	}
+	if m.quota != nil && !m.quota.Admit(id, size) {
+		// Backstop: the engine prechecks quotas before charging I/O, so a
+		// refusal here means a caller bypassed the precheck.
+		return nil, fmt.Errorf("storage: block %v (%d bytes) exceeds tenant %q memory quota", id, size, m.quota.Owner(id))
+	}
 	m.seq++
 	meta := &BlockMeta{
 		ID:         id,
@@ -390,6 +407,9 @@ func (m *MemoryStore) dropEntry(id BlockID) (*memEntry, bool) {
 	delete(m.blocks, id)
 	m.used -= e.meta.Size
 	m.cacheDrop(id)
+	if m.quota != nil {
+		m.quota.Release(id, e.meta.Size)
+	}
 	return e, true
 }
 

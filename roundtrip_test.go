@@ -1,0 +1,127 @@
+package blaze_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"blaze"
+)
+
+// TestResilienceStringRoundTrip property-tests that ParseResilience
+// inverts Resilience.String for any field combination: knob surfaces
+// (CLI flags, HTTP payloads) can render a config and get the same
+// config back.
+func TestResilienceStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() blaze.Resilience {
+		var r blaze.Resilience
+		if rng.Intn(2) == 0 {
+			r.MaxTaskRetries = rng.Intn(7) - 1 // -1 (disabled) .. 5
+		}
+		if rng.Intn(2) == 0 {
+			r.MaxFetchRetries = rng.Intn(5) - 1
+		}
+		if rng.Intn(2) == 0 {
+			r.RetryBackoff = time.Duration(1+rng.Intn(5000)) * time.Microsecond
+		}
+		if rng.Intn(2) == 0 {
+			r.SpeculativeMultiple = 1 + float64(rng.Intn(40))/10
+		}
+		if rng.Intn(2) == 0 {
+			r.BlacklistAfter = 1 + rng.Intn(5)
+		}
+		if rng.Intn(2) == 0 {
+			r.BlacklistCooldown = 1 + rng.Intn(5)
+		}
+		return r
+	}
+	for i := 0; i < 500; i++ {
+		want := gen()
+		s := want.String()
+		got, err := blaze.ParseResilience(s)
+		if err != nil {
+			t.Fatalf("ParseResilience(%q) (from %+v): %v", s, want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: %+v -> %q -> %+v", want, s, got)
+		}
+	}
+	// The zero value renders empty and parses back to the zero value.
+	var zero blaze.Resilience
+	if s := zero.String(); s != "" {
+		t.Fatalf("zero Resilience renders %q, want empty", s)
+	}
+	if got, err := blaze.ParseResilience(""); err != nil || got != zero {
+		t.Fatalf("ParseResilience(\"\") = %+v, %v", got, err)
+	}
+}
+
+// TestFaultClassesStringRoundTrip property-tests that ParseFaultClasses
+// inverts FormatFaultClasses for any duplicate-free class list in any
+// order.
+func TestFaultClassesStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	all := blaze.AllFaultClasses()
+	for i := 0; i < 500; i++ {
+		perm := rng.Perm(len(all))
+		n := rng.Intn(len(all) + 1)
+		var classes []blaze.FaultClass
+		for _, j := range perm[:n] {
+			classes = append(classes, all[j])
+		}
+		s := blaze.FormatFaultClasses(classes)
+		got, err := blaze.ParseFaultClasses(s)
+		if err != nil {
+			t.Fatalf("ParseFaultClasses(%q): %v", s, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(classes) {
+			t.Fatalf("round trip: %v -> %q -> %v", classes, s, got)
+		}
+	}
+}
+
+// TestFaultConfigString checks the schedule's rendering: the classes
+// field round-trips through ParseFaultClasses, zero fields are omitted
+// and the zero config renders empty.
+func TestFaultConfigString(t *testing.T) {
+	var zero blaze.FaultConfig
+	if s := zero.String(); s != "" {
+		t.Fatalf("zero FaultConfig renders %q, want empty", s)
+	}
+	rng := rand.New(rand.NewSource(3))
+	all := blaze.AllFaultClasses()
+	for i := 0; i < 200; i++ {
+		cfg := blaze.FaultConfig{
+			Seed:    rng.Int63n(1000),
+			Classes: []blaze.FaultClass{all[rng.Intn(len(all))]},
+			Every:   rng.Intn(4),
+		}
+		if rng.Intn(2) == 0 {
+			cfg.AtStageEnd = true
+		}
+		s := cfg.String()
+		if !strings.Contains(s, fmt.Sprintf("seed=%d", cfg.Seed)) && cfg.Seed != 0 {
+			t.Fatalf("String() = %q lacks seed", s)
+		}
+		// Extract the classes segment and parse it back.
+		var classesField string
+		for _, part := range strings.Split(s, ",") {
+			if v, ok := strings.CutPrefix(part, "classes="); ok {
+				classesField = v
+			}
+		}
+		if classesField == "" {
+			t.Fatalf("String() = %q lacks classes", s)
+		}
+		got, err := blaze.ParseFaultClasses(classesField)
+		if err != nil {
+			t.Fatalf("classes segment %q does not parse: %v", classesField, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(cfg.Classes) {
+			t.Fatalf("classes round trip: %v -> %q -> %v", cfg.Classes, classesField, got)
+		}
+	}
+}
