@@ -14,6 +14,8 @@ import (
 	"blaze/internal/core"
 	"blaze/internal/costmodel"
 	"blaze/internal/dataflow"
+	"blaze/internal/datagen"
+	"blaze/internal/ilp"
 	"blaze/internal/metrics"
 	"blaze/internal/storage"
 )
@@ -97,6 +99,33 @@ func (r *Result) DiskFootprint() (written, peak int64) {
 // the solver.
 func (r *Result) OptimizerActivity() (solves, nodes, fallbacks, reused int) {
 	return r.Metrics.ILPSolves, r.Metrics.ILPNodes, r.Metrics.ILPFallbacks, r.Metrics.ILPReused
+}
+
+// RecoveryActivity returns the run's fault-recovery durations keyed by
+// fault class ("cache_block", "shuffle_output", "executor", ...) — the
+// per-class attribution of the same virtual time TotalRecompute and the
+// recovery counters summarize. The map is a copy; mutate freely.
+func (r *Result) RecoveryActivity() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(r.Metrics.FaultRecoveryByClass))
+	for class, d := range r.Metrics.FaultRecoveryByClass {
+		out[class] = d
+	}
+	return out
+}
+
+// ResilienceActivity returns the transient-failure accounting: task and
+// shuffle-fetch retries, speculative copies that beat their straggler,
+// and executor blacklist episodes.
+func (r *Result) ResilienceActivity() (taskRetries, fetchRetries, speculativeWins, blacklistings int) {
+	return r.Metrics.TaskRetries, r.Metrics.FetchRetries, r.Metrics.SpeculativeWins, r.Metrics.BlacklistedExecutors
+}
+
+// StreamActivity returns the streaming accounting of a Session run:
+// windows opened, partitions retired by windowed lifetime, and
+// incremental (delta) ILP re-solves at window boundaries. All zero for
+// one-shot Run results.
+func (r *Result) StreamActivity() (windows, partitionsRetired, deltaSolves int) {
+	return r.Metrics.WindowsRun, r.Metrics.PartitionsRetired, r.Metrics.ILPDeltaSolves
 }
 
 // MetricsEqualDeterministic reports whether two runs agree on every
@@ -225,4 +254,41 @@ type LineageEdge = core.Edge
 // default is 0.02).
 func ProfileWorkload(spec WorkloadSpec, sampleScale float64) *Skeleton {
 	return core.Profile(core.Workload(spec.Plain), sampleScale)
+}
+
+// ---------------------------------------------------------------------
+// Input generators and model internals for benchmark tooling
+
+// BlobSpec describes a deterministic incompressible-blob input set for
+// real-bytes storage experiments; Blob(i) materializes blob i.
+type BlobSpec = datagen.BlobSpec
+
+// CostObserved carries measured storage throughputs from a real-bytes
+// run; CostParams.Calibrated re-derives model device speeds from it.
+type CostObserved = costmodel.Observed
+
+// ILPProblem, ILPSolution and ILPOptions expose the exact optimizer to
+// benchmark tooling: the same solver the Blaze controller runs on its
+// three-state caching instances, callable on standalone problems.
+type (
+	ILPProblem  = ilp.Problem
+	ILPSolution = ilp.Solution
+	ILPOptions  = ilp.Options
+)
+
+// ILPBenchProblem builds the canonical Blaze-shaped benchmark instance
+// for n partitions: the three-state model with a memory capacity
+// constraint, the instance family the solver benchmarks report on.
+func ILPBenchProblem(parts int, memCapacity int64) ILPProblem {
+	return ilp.BenchProblem(parts, memCapacity)
+}
+
+// ILPSolve runs the production solver (bounded-variable simplex with
+// warm-started branch and bound) on a standalone instance.
+func ILPSolve(p ILPProblem, o ILPOptions) (ILPSolution, error) { return ilp.Solve(p, o) }
+
+// ILPReferenceSolve runs the pre-rewrite dense reference solver — kept
+// for cross-checks and benchmarks; tractable only on small instances.
+func ILPReferenceSolve(p ILPProblem, o ILPOptions) (ILPSolution, error) {
+	return ilp.ReferenceSolve(p, o)
 }

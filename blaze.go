@@ -126,12 +126,19 @@ type RunConfig struct {
 	// (task/fetch retries with backoff, speculative execution,
 	// blacklisting). The zero value selects the defaults.
 	Resilience Resilience
-	// ILPWindow overrides how many successor jobs Blaze's ILP objective
-	// covers. nil keeps the default of 1 (§5.5); ILPWindow(0) restricts
-	// the objective to the current job only; a negative value is ignored
-	// like nil (the old -1 sentinel keeps working). Only meaningful for
-	// the Blaze systems.
-	ILPWindow *int
+	// ILPWindow selects how many successor jobs Blaze's ILP objective
+	// covers. The zero value (ILPWindowDefault) keeps the paper's
+	// default of 1 successor (§5.5); ILPWindowCurrentJobOnly restricts
+	// the objective to the current job; any positive value widens the
+	// horizon to that many successors. Only meaningful for the Blaze
+	// systems.
+	//
+	// This used to be a *int so that 0 was expressible; it is now a
+	// plain int with exported sentinels. Code that called the
+	// blaze.ILPWindow(n) pointer helper keeps compiling through the
+	// deprecated shim of the same name, which now returns the
+	// equivalent sentinel value.
+	ILPWindow int
 	// RealBytes backs the storage tier with real bytes: memory blocks
 	// are gob-serialized buffers, disk blocks are files under a
 	// run-scoped temp directory (removed when Run returns), and the run
@@ -142,9 +149,33 @@ type RunConfig struct {
 	RealBytes bool
 }
 
-// ILPWindow builds the RunConfig.ILPWindow value for an explicit window:
-// blaze.ILPWindow(0) prices the current job only.
-func ILPWindow(jobs int) *int { return &jobs }
+// ILP window sentinels for RunConfig.ILPWindow and JobSpec.ILPWindow.
+const (
+	// ILPWindowDefault (the zero value) keeps the paper's default
+	// horizon: the current job and one successor (§5.5).
+	ILPWindowDefault = 0
+	// ILPWindowCurrentJobOnly restricts the ILP objective to the
+	// current job, with no successor lookahead.
+	ILPWindowCurrentJobOnly = -1
+)
+
+// ILPWindow converts an explicit window size to the RunConfig.ILPWindow
+// value, mapping 0 to ILPWindowCurrentJobOnly and negative values to
+// ILPWindowDefault — the semantics the old pointer helper's callers
+// relied on.
+//
+// Deprecated: assign the window directly (RunConfig.ILPWindow = n, or
+// one of the sentinels). This shim exists for one release so code
+// written against the former *int field keeps compiling.
+func ILPWindow(jobs int) int {
+	if jobs == 0 {
+		return ILPWindowCurrentJobOnly
+	}
+	if jobs < 0 {
+		return ILPWindowDefault
+	}
+	return jobs
+}
 
 func (c RunConfig) withDefaults() RunConfig {
 	if c.Executors == 0 {
@@ -190,6 +221,9 @@ func (c RunConfig) Validate() error {
 	}
 	if c.DiskCapacity < 0 {
 		return fmt.Errorf("blaze: DiskCapacity must be >= 0 (0 means unconstrained), got %d", c.DiskCapacity)
+	}
+	if c.ILPWindow < ILPWindowCurrentJobOnly {
+		return fmt.Errorf("blaze: ILPWindow must be >= %d (ILPWindowCurrentJobOnly), got %d", ILPWindowCurrentJobOnly, c.ILPWindow)
 	}
 	if err := validateSystem(c.System); err != nil {
 		return err
@@ -501,8 +535,11 @@ func buildSystem(cfg RunConfig, spec WorkloadSpec) (systemSpec, error) {
 		if cfg.DiskCapacity > 0 {
 			b.WithDiskCapacity(cfg.DiskCapacity)
 		}
-		if w := cfg.ILPWindow; w != nil && *w >= 0 {
-			b.WithWindow(*w)
+		switch {
+		case cfg.ILPWindow > 0:
+			b.WithWindow(cfg.ILPWindow)
+		case cfg.ILPWindow == ILPWindowCurrentJobOnly:
+			b.WithWindow(0)
 		}
 		return systemSpec{ctl: b, profiled: true}, nil
 	case SysBlazeMem:

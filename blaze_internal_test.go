@@ -22,21 +22,21 @@ func TestWithDefaults(t *testing.T) {
 	if d.ProfileScale != 0.02 {
 		t.Fatalf("default ProfileScale = %v, want 0.02", d.ProfileScale)
 	}
-	if d.ILPWindow != nil {
-		t.Fatalf("defaults must leave ILPWindow nil, got %d", *d.ILPWindow)
+	if d.ILPWindow != ILPWindowDefault {
+		t.Fatalf("defaults must leave ILPWindow at ILPWindowDefault, got %d", d.ILPWindow)
 	}
 
 	c := RunConfig{
 		Executors:    3,
 		Scale:        0.5,
 		ProfileScale: 0.1,
-		ILPWindow:    ILPWindow(0),
+		ILPWindow:    ILPWindowCurrentJobOnly,
 	}.withDefaults()
 	if c.Executors != 3 || c.Scale != 0.5 || c.ProfileScale != 0.1 {
 		t.Fatalf("explicit values clobbered: %+v", c)
 	}
-	if c.ILPWindow == nil || *c.ILPWindow != 0 {
-		t.Fatal("ILPWindow(0) must survive withDefaults (the old int field remapped 0 to 1)")
+	if c.ILPWindow != ILPWindowCurrentJobOnly {
+		t.Fatal("ILPWindowCurrentJobOnly must survive withDefaults (the old int field remapped 0 to 1)")
 	}
 }
 
@@ -132,7 +132,7 @@ func TestILPWindowReachesController(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	window := func(w *int) int {
+	window := func(w int) int {
 		t.Helper()
 		sys, err := buildSystem(RunConfig{System: SysBlaze, ILPWindow: w}.withDefaults(), spec)
 		if err != nil {
@@ -140,16 +140,23 @@ func TestILPWindowReachesController(t *testing.T) {
 		}
 		return sys.ctl.(*core.Controller).Window()
 	}
-	if got := window(nil); got != 1 {
-		t.Fatalf("nil window = %d, want the default 1", got)
+	if got := window(ILPWindowDefault); got != 1 {
+		t.Fatalf("ILPWindowDefault = %d, want the default 1", got)
 	}
+	if got := window(ILPWindowCurrentJobOnly); got != 0 {
+		t.Fatalf("ILPWindowCurrentJobOnly = %d, want 0 (current job only)", got)
+	}
+	if got := window(3); got != 3 {
+		t.Fatalf("ILPWindow 3 = %d, want 3", got)
+	}
+	// The deprecated shim keeps the old pointer helper's semantics.
 	if got := window(ILPWindow(0)); got != 0 {
-		t.Fatalf("ILPWindow(0) = %d, want 0 (current job only)", got)
+		t.Fatalf("shim ILPWindow(0) = %d, want 0 (current job only)", got)
 	}
 	if got := window(ILPWindow(3)); got != 3 {
-		t.Fatalf("ILPWindow(3) = %d, want 3", got)
+		t.Fatalf("shim ILPWindow(3) = %d, want 3", got)
 	}
 	if got := window(ILPWindow(-1)); got != 1 {
-		t.Fatalf("ILPWindow(-1) = %d, want the default 1 (old sentinel)", got)
+		t.Fatalf("shim ILPWindow(-1) = %d, want the default 1 (old sentinel)", got)
 	}
 }

@@ -20,7 +20,6 @@ import (
 
 	"blaze"
 	"blaze/harness"
-	"blaze/internal/ilp"
 )
 
 // parallelEntry is one row of the parallel speedup benchmark.
@@ -128,7 +127,7 @@ type ilpReport struct {
 }
 
 // runILPBench benchmarks the exact optimizer on the shared Blaze-shaped
-// instances (ilp.BenchProblem): wall time and branch-and-bound nodes of
+// instances (blaze.ILPBenchProblem): wall time and branch-and-bound nodes of
 // the bounded-variable warm-started solver at n ∈ {16, 32, 128, 256}
 // partitions, against the dense reference solver where it is still
 // tractable (n ≤ 32). The JSON report mirrors BENCH_parallel.json and
@@ -138,16 +137,16 @@ func runILPBench(path string) {
 		Note: "bounded = bounded-variable simplex with warm-started branch and bound; dense = pre-rewrite reference solver (internal/ilp/dense.go), run only at sizes where it is tractable",
 	}
 	for _, parts := range []int{16, 32, 128, 256} {
-		prob := ilp.BenchProblem(parts, int64(parts))
+		prob := blaze.ILPBenchProblem(parts, int64(parts))
 		reps := 3
 		if parts > 32 {
 			reps = 1
 		}
-		var sol ilp.Solution
+		var sol blaze.ILPSolution
 		best := time.Duration(1<<63 - 1)
 		for i := 0; i < reps; i++ {
 			start := time.Now()
-			s, err := ilp.Solve(prob, ilp.Options{})
+			s, err := blaze.ILPSolve(prob, blaze.ILPOptions{})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "blazebench: ilp n=%d: %v\n", parts, err)
 				os.Exit(1)
@@ -168,7 +167,7 @@ func runILPBench(path string) {
 			dBest := time.Duration(1<<63 - 1)
 			for i := 0; i < reps; i++ {
 				start := time.Now()
-				if _, err := ilp.ReferenceSolve(prob, ilp.Options{}); err != nil {
+				if _, err := blaze.ILPReferenceSolve(prob, blaze.ILPOptions{}); err != nil {
 					fmt.Fprintf(os.Stderr, "blazebench: dense ilp n=%d: %v\n", parts, err)
 					os.Exit(1)
 				}
@@ -261,6 +260,7 @@ func main() {
 	ilpPath := flag.String("ilp", "", "run the exact-optimizer benchmark and write the JSON report to this path")
 	storagePath := flag.String("storage", "", "run the real-bytes storage benchmark (measured vs modeled) and write the JSON report to this path")
 	serverPath := flag.String("server", "", "run the multi-tenant job-server benchmark (shared Blaze cache vs static partitioning) and write the JSON report to this path")
+	streamPath := flag.String("stream", "", "run the micro-batch streaming benchmark (windowed lineage + incremental ILP re-solve) and write the JSON report to this path")
 	faultSpec := flag.String("faults", "", "run the fault soak instead of figures: comma-separated classes (exec, block, shuffle, exec-death, bucket, task-flake, fetch-flake, straggler, permanent, transient, all)")
 	resSpec := flag.String("resilience", "", "resilience knobs for the fault soak: retries=3,fetch-retries=2,backoff=2ms,spec=2,blacklist=3,cooldown=2")
 	workload := flag.String("workload", "pr", "workload for the fault soak: pr, cc, lr, kmeans, gbt, svdpp")
@@ -277,6 +277,10 @@ func main() {
 	}
 	if *storagePath != "" {
 		runStorageBench(*storagePath, *scale)
+		return
+	}
+	if *streamPath != "" {
+		runStreamBench(*streamPath, *executors, *scale)
 		return
 	}
 	if *serverPath != "" {

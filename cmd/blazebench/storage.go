@@ -15,9 +15,6 @@ import (
 	"os"
 
 	"blaze"
-	"blaze/internal/costmodel"
-	"blaze/internal/dataflow"
-	"blaze/internal/datagen"
 )
 
 // Storage-soak input shape: incompressible blobs totalling ~6 MB at
@@ -35,12 +32,12 @@ const (
 )
 
 // soakSpec derives the blob set for a scale factor.
-func soakSpec(scale float64) datagen.BlobSpec {
+func soakSpec(scale float64) blaze.BlobSpec {
 	n := int(float64(soakParts*soakBlobsPerPart) * scale)
 	if n < soakParts {
 		n = soakParts
 	}
-	return datagen.BlobSpec{Seed: soakSeed, N: n, BlobBytes: soakBlobBytes}
+	return blaze.BlobSpec{Seed: soakSeed, N: n, BlobBytes: soakBlobBytes}
 }
 
 // soakInputBytes sums the real payload sizes of the blob set.
@@ -59,23 +56,23 @@ func soakInputBytes(scale float64) int64 {
 // spilled blocks).
 func registerStorageSoak() {
 	blaze.RegisterValueType([]byte{})
-	driver := func(ctx *dataflow.Context, scale float64) {
+	driver := func(ctx *blaze.Context, scale float64) {
 		spec := soakSpec(scale)
-		blobs := ctx.Source("soak-blobs@0", soakParts, func(part int) []dataflow.Record {
-			var out []dataflow.Record
+		blobs := ctx.Source("soak-blobs@0", soakParts, func(part int) []blaze.Record {
+			var out []blaze.Record
 			for i := int64(part); i < int64(spec.N); i += int64(soakParts) {
-				out = append(out, dataflow.Record{Key: i, Value: spec.Blob(i)})
+				out = append(out, blaze.Record{Key: i, Value: spec.Blob(i)})
 			}
 			return out
 		}).Cache()
 		for it := 0; it < soakIters; it++ {
-			sums := blobs.MapPartitions(fmt.Sprintf("soak-scan@%d", it), dataflow.OpLight,
-				func(part int, in []dataflow.Record) []dataflow.Record {
+			sums := blobs.MapPartitions(fmt.Sprintf("soak-scan@%d", it), blaze.OpLight,
+				func(part int, in []blaze.Record) []blaze.Record {
 					var total int64
 					for _, r := range in {
 						total += int64(len(r.Value.([]byte)))
 					}
-					return []dataflow.Record{{Key: int64(part), Value: total}}
+					return []blaze.Record{{Key: int64(part), Value: total}}
 				})
 			sums.Count()
 		}
@@ -171,7 +168,7 @@ func storageRun(wl blaze.WorkloadID, sys blaze.SystemID, scale float64, inputByt
 			Ratio:      c.Stats.Ratio(),
 		})
 	}
-	cal := params.Calibrated(costmodel.Observed{
+	cal := params.Calibrated(blaze.CostObserved{
 		SerializeBytes: st.MemEncode.Bytes + st.MemDecode.Bytes,
 		SerializeWall:  st.MemEncode.Wall + st.MemDecode.Wall,
 		DiskWriteBytes: st.DiskWrite.Bytes,

@@ -1,0 +1,142 @@
+package main
+
+// The streaming benchmark (-stream): runs every registered micro-batch
+// stream through a session with cold-solve verification on, and reports
+// the incremental-ILP headline numbers — how much cheaper the delta
+// re-solve at each window boundary is than a from-scratch solve of the
+// identical instance, given that both must select the same cache set.
+// The run fails (non-zero exit) if any delta solve disagrees with its
+// cold verification, or if the delta path is not at least 2x cheaper
+// than cold overall; CI runs this as the streaming smoke job.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"blaze"
+)
+
+// streamWindowRow is one window's deterministic accounting.
+type streamWindowRow struct {
+	Window            int `json:"window"`
+	MemHits           int `json:"mem_hits"`
+	DiskHits          int `json:"disk_hits"`
+	Misses            int `json:"misses"`
+	Evictions         int `json:"evictions"`
+	PartitionsRetired int `json:"partitions_retired"`
+	ILPDeltaSolves    int `json:"ilp_delta_solves"`
+	ILPDeltaNodes     int `json:"ilp_delta_nodes"`
+}
+
+// streamEntry is one stream workload's report row.
+type streamEntry struct {
+	Workload          string            `json:"workload"`
+	Windows           int               `json:"windows"`
+	PartitionsRetired int               `json:"partitions_retired"`
+	DeltaSolves       int               `json:"delta_solves"`
+	ColdSolves        int               `json:"cold_solves"`
+	Mismatches        int               `json:"mismatches"`
+	DeltaNodes        int               `json:"delta_nodes"`
+	ColdNodes         int               `json:"cold_nodes"`
+	DeltaMs           float64           `json:"delta_ms"`
+	ColdMs            float64           `json:"cold_ms"`
+	NodeRatio         float64           `json:"node_ratio,omitempty"`
+	TimeRatio         float64           `json:"time_ratio,omitempty"`
+	PerWindow         []streamWindowRow `json:"per_window"`
+}
+
+type streamReport struct {
+	Entries []streamEntry `json:"entries"`
+	Note    string        `json:"note"`
+}
+
+// runStreamBench executes the micro-batch streaming experiment and
+// writes the JSON report. The cluster is sized so boundary instances
+// are non-trivial: memory tight enough that the optimizer must choose,
+// a disk tier so the full three-state branch and bound runs.
+func runStreamBench(path string, executors int, scale float64) {
+	const windows = 6
+	rep := streamReport{
+		Note: "delta = warm-started boundary re-solve, cold = from-scratch solve of the identical instance; mismatches counts cache-set disagreements between the two proven optima (must be 0), ratios are cold/delta",
+	}
+	failed := false
+	for _, wl := range blaze.AllStreamWorkloads() {
+		res, err := blaze.RunStream(blaze.StreamConfig{
+			Workload:          wl,
+			Windows:           windows,
+			Scale:             scale,
+			Executors:         executors,
+			MemoryPerExecutor: 256 * 1024,
+			DiskCapacity:      1 << 20,
+			ColdSolveVerify:   true,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %s: %v\n", wl, err)
+			os.Exit(1)
+		}
+		m := res.Metrics
+		e := streamEntry{
+			Workload:          string(wl),
+			Windows:           m.WindowsRun,
+			PartitionsRetired: m.PartitionsRetired,
+			DeltaSolves:       m.ILPDeltaSolves,
+			ColdSolves:        m.ILPColdSolves,
+			Mismatches:        m.ILPColdMismatches,
+			DeltaNodes:        m.ILPDeltaNodes,
+			ColdNodes:         m.ILPColdNodes,
+			DeltaMs:           float64(m.ILPDeltaSolveTime.Microseconds()) / 1000,
+			ColdMs:            float64(m.ILPColdSolveTime.Microseconds()) / 1000,
+		}
+		if e.DeltaNodes > 0 {
+			e.NodeRatio = float64(e.ColdNodes) / float64(e.DeltaNodes)
+		}
+		if m.ILPDeltaSolveTime > 0 {
+			e.TimeRatio = float64(m.ILPColdSolveTime) / float64(m.ILPDeltaSolveTime)
+		}
+		for _, w := range res.Windows {
+			e.PerWindow = append(e.PerWindow, streamWindowRow{
+				Window: w.Window, MemHits: w.MemHits, DiskHits: w.DiskHits,
+				Misses: w.Misses, Evictions: w.Evictions,
+				PartitionsRetired: w.PartitionsRetired,
+				ILPDeltaSolves:    w.ILPDeltaSolves, ILPDeltaNodes: w.ILPDeltaNodes,
+			})
+		}
+		rep.Entries = append(rep.Entries, e)
+
+		switch {
+		case e.Mismatches != 0:
+			fmt.Fprintf(os.Stderr, "blazebench: %s: %d delta/cold cache-set mismatches\n", wl, e.Mismatches)
+			failed = true
+		case e.DeltaSolves == 0 || e.ColdSolves == 0:
+			fmt.Fprintf(os.Stderr, "blazebench: %s: no boundary solves ran (delta=%d cold=%d)\n", wl, e.DeltaSolves, e.ColdSolves)
+			failed = true
+		// Search nodes are the deterministic cost measure; wall time
+		// backs it up on instances small enough to be timer-noise bound.
+		case e.ColdNodes < 2*e.DeltaNodes && e.ColdMs < 2*e.DeltaMs:
+			fmt.Fprintf(os.Stderr, "blazebench: %s: delta re-solve not 2x cheaper than cold (nodes %d vs %d, %.3fms vs %.3fms)\n",
+				wl, e.DeltaNodes, e.ColdNodes, e.DeltaMs, e.ColdMs)
+			failed = true
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Entries {
+		fmt.Printf("%-14s windows %2d  retired %4d  delta %3d solves/%6d nodes/%8.3fms  cold %3d solves/%6d nodes/%8.3fms  mismatches %d\n",
+			e.Workload, e.Windows, e.PartitionsRetired,
+			e.DeltaSolves, e.DeltaNodes, e.DeltaMs,
+			e.ColdSolves, e.ColdNodes, e.ColdMs, e.Mismatches)
+	}
+	fmt.Printf("(report written to %s)\n", path)
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -105,14 +105,19 @@ func (h *Harness) CoresExperiment() (*Matrix, error) {
 	return m, nil
 }
 
-// runBlazeWithWindow runs Blaze on PR with a custom ILP window.
+// runBlazeWithWindow runs Blaze on PR with a custom ILP window
+// (window=0 means the current job only).
 func runBlazeWithWindow(h *Harness, window int) (*blaze.Result, error) {
+	w := window
+	if w == 0 {
+		w = blaze.ILPWindowCurrentJobOnly
+	}
 	return blaze.Run(blaze.RunConfig{
 		System:         blaze.SysBlaze,
 		Workload:       blaze.PR,
 		Executors:      h.Executors,
 		Scale:          h.Scale,
 		MemoryFraction: 0.35,
-		ILPWindow:      blaze.ILPWindow(window),
+		ILPWindow:      w,
 	})
 }

@@ -94,6 +94,21 @@ type Controller struct {
 	// multi-tenant server can re-run the optimization across the union
 	// of all admitted sessions' candidates (see GlobalArbiter).
 	arbiter JobArbiter
+
+	// Windowed-lineage state for micro-batch streaming (window.go).
+	// curWindow is the open 1-based window (0 on one-shot runs),
+	// winFirstJob the index of its first job; retired marks nodes whose
+	// lifetime has passed (excluded from candidates and liveness);
+	// lastChosen holds, per executor, the memory set the most recent
+	// solve assigned — the warm seed for the next boundary delta solve.
+	curWindow   int
+	winFirstJob int
+	retired     map[NodeKey]bool
+	lastChosen  []map[storage.BlockID]bool
+
+	// coldVerify runs a from-scratch solve alongside every boundary
+	// delta solve and counts disagreements (WithColdVerify).
+	coldVerify bool
 }
 
 // JobArbiter intercepts a controller's job-start ILP trigger.
@@ -207,10 +222,12 @@ func (b *Controller) Bind(c *engine.Cluster) {
 	b.perEst = make([]*Estimator, n)
 	b.accessed = make([]map[storage.BlockID]bool, n)
 	b.ilpMemo = make([]*solveMemo, n)
+	b.lastChosen = make([]map[storage.BlockID]bool, n)
 	for i := 0; i < n; i++ {
 		b.perEst[i] = b.newEstimator(c)
 		b.accessed[i] = make(map[storage.BlockID]bool)
 		b.ilpMemo[i] = &solveMemo{}
+		b.lastChosen[i] = make(map[storage.BlockID]bool)
 	}
 }
 
@@ -246,6 +263,9 @@ func (b *Controller) ParallelCaps() engine.ParallelCaps {
 // aliveAt reports whether a node's partitions will still be retained at
 // the given job: auto-unpersist reclaims them after their last reference.
 func (b *Controller) aliveAt(key NodeKey, job int) bool {
+	if b.retired[key] {
+		return false
+	}
 	n := b.lin.NodeByKey(key)
 	if n == nil {
 		return false
@@ -337,6 +357,16 @@ func (b *Controller) OnStageEnd(st *engine.Stage, idle []time.Duration) {
 	}
 	for i := range b.accessed {
 		b.accessed[i] = make(map[storage.BlockID]bool)
+	}
+	// In windowed (micro-batch streaming) mode, reference-count
+	// reclamation defers to lifetime retirement at window boundaries: a
+	// carried dataset's references from the NEXT window are invisible
+	// here (that window's DAG has not been submitted yet), so dropping
+	// at futureRefs==0 would destroy exactly the carried state streaming
+	// reuses. Dead blocks instead persist until retireDeadLineage ages
+	// them out by last-consumer window.
+	if b.curWindow >= 1 {
+		return
 	}
 	for _, ex := range b.c.Executors() {
 		for _, meta := range ex.Mem.Blocks() {

@@ -69,7 +69,19 @@ func (b *Controller) runILP() {
 // union of several sessions' candidates and applies each session's
 // slice through its own controller.
 func (b *Controller) applyAssignment(ex *engine.Executor, cands []candidate, chosen []bool) {
+	// Remember this executor's memory set: the next window boundary's
+	// delta solve warm-starts from it.
+	var last map[storage.BlockID]bool
+	if ex.ID < len(b.lastChosen) {
+		if b.lastChosen[ex.ID] == nil {
+			b.lastChosen[ex.ID] = make(map[storage.BlockID]bool)
+		}
+		last = b.lastChosen[ex.ID]
+	}
 	for i, c := range cands {
+		if last != nil {
+			last[c.id] = chosen[i]
+		}
 		var tgt engine.Placement
 		switch {
 		case chosen[i]:
@@ -127,12 +139,18 @@ func (b *Controller) gatherCandidates(ex *engine.Executor) []candidate {
 		}
 		seen[id] = true
 		n := b.lin.Node(id.Dataset)
-		if n == nil {
+		if n == nil || b.retired[n.Key] {
+			// Unknown to this session's lineage, or retired by windowed
+			// lifetime management: not a candidate.
 			return
 		}
-		total := b.futureRefs(id.Dataset)
-		if total == 0 {
-			return // auto-unpersist will reclaim it
+		// Resident blocks with no anticipated references are not
+		// candidates in one-shot mode (auto-unpersist reclaims them). In
+		// windowed mode they stay: a future window may yet consume them
+		// (carried state), so they compete at the idle-reference
+		// discount until lifetime retirement ages them out.
+		if b.futureRefs(id.Dataset) == 0 && b.curWindow < 1 {
+			return
 		}
 		w := float64(b.refsInWindow(n))
 		if w == 0 {

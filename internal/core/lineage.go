@@ -66,6 +66,11 @@ type Node struct {
 	Parts int
 	// CreationJob is the job index in which the node first appeared.
 	CreationJob int
+	// TouchedJob is the last job index that actually referenced the node
+	// (created it, computed one of its direct children, or targeted it
+	// with an action). Windowed lineage retirement compares it against
+	// window boundaries to detect partitions whose lifetime has passed.
+	TouchedJob int
 
 	// sizes and costs hold observed per-partition metrics; observed
 	// marks which partitions have real measurements.
@@ -194,8 +199,11 @@ func (l *CostLineage) RegisterDataset(ds *dataflow.Dataset, jobIdx int) *Node {
 	key := keyFor(l.ordinalSeq, ds)
 	n, ok := l.nodes[key]
 	if !ok {
-		n = &Node{Key: key, DatasetID: -1, CreationJob: jobIdx}
+		n = &Node{Key: key, DatasetID: -1, CreationJob: jobIdx, TouchedJob: jobIdx}
 		l.nodes[key] = n
+	}
+	if jobIdx > n.TouchedJob {
+		n.TouchedJob = jobIdx
 	}
 	n.DatasetID = ds.ID()
 	if n.Parts == 0 {
@@ -232,6 +240,9 @@ func (l *CostLineage) ObserveJob(jobIdx int, datasets []*dataflow.Dataset, targe
 			for _, e := range n.Parents {
 				if pn := l.nodes[e.Parent]; pn != nil {
 					l.addRefOffset(pn.Key.Role, jobIdx-pn.CreationJob)
+					if jobIdx > pn.TouchedJob {
+						pn.TouchedJob = jobIdx
+					}
 				}
 			}
 		}
@@ -239,6 +250,9 @@ func (l *CostLineage) ObserveJob(jobIdx int, datasets []*dataflow.Dataset, targe
 	if target != nil {
 		if tn := l.byID[target.ID()]; tn != nil {
 			l.addRefOffset(tn.Key.Role, jobIdx-tn.CreationJob)
+			if jobIdx > tn.TouchedJob {
+				tn.TouchedJob = jobIdx
+			}
 		}
 	}
 	if jobIdx >= l.jobsSeen {

@@ -527,6 +527,10 @@ type Cluster struct {
 	// diskBase snapshots each pool executor's cumulative disk-written
 	// bytes at session creation; Finish reports the session's delta.
 	diskBase []int64
+
+	// curWindow is the 1-based index of the open micro-batch window on a
+	// streaming session (0 on one-shot runs; see StartWindow).
+	curWindow int
 }
 
 // taskTrace buffers one task's externally ordered side effects during
@@ -726,6 +730,41 @@ func (c *Cluster) Resilience() Resilience { return c.res }
 // CurrentJob returns the index of the job currently running. Task hooks
 // use it to key transient fault decisions.
 func (c *Cluster) CurrentJob() int { return c.curJob }
+
+// WindowAdvancer is the optional controller extension for micro-batch
+// streaming. A controller that implements it is notified at every
+// window boundary — after the previous window's jobs have finished and
+// before the new window's first job is submitted — so it can retire
+// lineage whose lifetime has passed and re-solve placement as a delta
+// on the previous window's assignment.
+type WindowAdvancer interface {
+	// AdvanceWindow opens the given 1-based window; nextJob is the index
+	// the window's first job will receive.
+	AdvanceWindow(window, nextJob int)
+}
+
+// StartWindow opens the next micro-batch window on a streaming session
+// and returns its 1-based index. It runs in driver context between
+// jobs: the boundary takes pool exclusivity like a job (window-boundary
+// retirement and re-solves mutate the stores), emits the window_start
+// event, and hands the controller its AdvanceWindow notification when
+// it implements WindowAdvancer. One-shot runs never call it, so their
+// metrics and event logs are unchanged.
+func (c *Cluster) StartWindow() int {
+	c.beginJob()
+	defer c.endJob()
+	c.curWindow++
+	c.met.WindowsRun++
+	c.emit(eventlog.Event{Kind: eventlog.WindowStart, Time: c.Now(), Job: c.jobSeq, Window: c.curWindow})
+	if wa, ok := c.ctl.(WindowAdvancer); ok {
+		wa.AdvanceWindow(c.curWindow, c.jobSeq)
+	}
+	return c.curWindow
+}
+
+// CurrentWindow returns the open micro-batch window index (0 when the
+// session is not windowed).
+func (c *Cluster) CurrentWindow() int { return c.curWindow }
 
 // anyBlacklisted reports whether any executor is sitting out a
 // flaky-executor cooldown (driver-context read).

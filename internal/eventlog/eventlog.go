@@ -92,6 +92,20 @@ const (
 	// union of admitted jobs' candidate sets: Count carries the number of
 	// participating sessions, Vars the total union candidates priced.
 	Arbitration Kind = "arbitration"
+	// WindowStart marks a micro-batch window boundary on a streaming
+	// session: Window is the 1-based index of the window being opened,
+	// and Job the index the window's first job will receive.
+	WindowStart Kind = "window_start"
+	// PartitionRetired records windowed-lineage retirement at a window
+	// boundary: the partition's lifetime (its last-consumer window) has
+	// passed, so it is removed from the store and from the optimizer's
+	// candidate set. Bytes is 0 when the partition was not resident.
+	PartitionRetired Kind = "partition_retired"
+	// ILPDeltaSolve records one incremental optimizer re-solve at a
+	// window boundary: the previous window's assignment (retired
+	// candidates dropped, new-window candidates appended) warm-starts
+	// the search. Fields mirror ILPSolve; Window scopes the boundary.
+	ILPDeltaSolve Kind = "ilp_delta_solve"
 )
 
 // Event is one log record. Fields are populated according to Kind; zero
@@ -147,6 +161,11 @@ type Event struct {
 	// to builds that predate the job server.
 	Tenant  string `json:"tenant,omitempty"`
 	Session int    `json:"session,omitempty"`
+	// Window is the 1-based micro-batch window index on streaming-session
+	// events (WindowStart, PartitionRetired, ILPDeltaSolve). Zero on
+	// one-shot runs, keeping their logs byte-identical to builds that
+	// predate streaming.
+	Window int `json:"window,omitempty"`
 }
 
 // Log is an in-memory, append-only event log.

@@ -1,0 +1,213 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file covers the delta warm-start entry points (SolveFrom,
+// KnapsackSearchFrom). The contract under test is the one the windowed
+// controller relies on: a warm seed accelerates the search through its
+// pruning bound only, so the returned assignment is the one a cold
+// solve would produce — exactly for the knapsack (any instance, ties
+// included), and for the full ILP on instances with a unique optimum
+// (internal/core guarantees uniqueness at window boundaries via a
+// deterministic objective perturbation applied to both solves).
+
+// uniquify applies the same index-based relative perturbation the
+// windowed controller applies at window boundaries, breaking objective
+// ties deterministically so the optimum is unique.
+func uniquify(p Problem) Problem {
+	q := Problem{C: append([]float64(nil), p.C...), Constraints: p.Constraints}
+	for i := range q.C {
+		q.C[i] += (1 + math.Abs(q.C[i])) * 1e-7 * float64(i+1) / float64(len(q.C)+1)
+	}
+	return q
+}
+
+func assignEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSolveFromMatchesColdOnUniqueOptima(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		for _, kind := range []uint8{1, 3} {
+			p := uniquify(fuzzProblem(seed, uint8(seed%13), uint8(seed%7), kind))
+			cold, err := Solve(p, Options{})
+			if err != nil {
+				continue
+			}
+			if !cold.Optimal {
+				continue
+			}
+			seeds := [][]int{
+				cold.X, // warm == the optimum itself
+				allUnpersist(p),
+			}
+			for si, warm := range seeds {
+				got, err := SolveFrom(p, warm, Options{})
+				if err != nil {
+					t.Fatalf("seed %d kind %d warm %d: SolveFrom error %v", seed, kind, si, err)
+				}
+				if !got.Optimal {
+					t.Fatalf("seed %d kind %d warm %d: delta solve not optimal", seed, kind, si)
+				}
+				if !assignEq(got.X, cold.X) {
+					t.Fatalf("seed %d kind %d warm %d: delta X %v != cold X %v (obj %g vs %g)",
+						seed, kind, si, got.X, cold.X, got.Objective, cold.Objective)
+				}
+			}
+		}
+	}
+}
+
+// allUnpersist builds the always-feasible Blaze-shaped assignment that
+// leaves every partition unpersisted (the u column of each EQ triple).
+// For non-Blaze shapes it returns a mis-sized slice, which SolveFrom
+// must treat as no seed at all.
+func allUnpersist(p Problem) []int {
+	n := len(p.C)
+	if n%3 != 0 {
+		return []int{0}
+	}
+	x := make([]int, n)
+	for i := 0; i+2 < n; i += 3 {
+		x[i+2] = 1
+	}
+	return x
+}
+
+func TestSolveFromInvalidWarmDegradesToCold(t *testing.T) {
+	p := uniquify(fuzzProblem(42, 5, 3, 1))
+	cold, err := Solve(p, Options{})
+	if err != nil || !cold.Optimal {
+		t.Fatalf("cold solve: %v optimal=%v", err, cold.Optimal)
+	}
+	bad := [][]int{
+		nil,
+		{1},
+		make([]int, len(p.C)+1),
+		func() []int { x := make([]int, len(p.C)); x[0] = 2; return x }(),
+	}
+	for i, warm := range bad {
+		got, err := SolveFrom(p, warm, Options{})
+		if err != nil {
+			t.Fatalf("bad warm %d: %v", i, err)
+		}
+		if !assignEq(got.X, cold.X) {
+			t.Fatalf("bad warm %d: X %v != cold %v", i, got.X, cold.X)
+		}
+	}
+	// An infeasible warm assignment (two states picked in one EQ triple)
+	// must likewise be ignored.
+	infeas := make([]int, len(p.C))
+	infeas[0], infeas[1] = 1, 1
+	got, err := SolveFrom(p, infeas, Options{})
+	if err != nil {
+		t.Fatalf("infeasible warm: %v", err)
+	}
+	if !assignEq(got.X, cold.X) {
+		t.Fatalf("infeasible warm: X %v != cold %v", got.X, cold.X)
+	}
+}
+
+func TestSolveFromBudgetFallsBackToWarm(t *testing.T) {
+	p := uniquify(fuzzProblem(7, 5, 3, 3))
+	warm := allUnpersist(p)
+	got, err := SolveFrom(p, warm, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatalf("SolveFrom: %v", err)
+	}
+	if got.Optimal {
+		t.Fatalf("1-node search cannot be optimal")
+	}
+	if got.X == nil {
+		t.Fatalf("expected warm fallback assignment")
+	}
+	if !feasible(p, got.X) {
+		t.Fatalf("fallback assignment infeasible: %v", got.X)
+	}
+}
+
+func TestKnapsackSearchFromMatchesColdExactly(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(14)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Small integral grids force plenty of equal-density and
+			// equal-value ties — the adversarial case for set identity.
+			values[i] = float64(rng.Intn(8))
+			weights[i] = float64(rng.Intn(6))
+			if rng.Intn(10) == 0 {
+				values[i] = -values[i]
+			}
+		}
+		capacity := float64(rng.Intn(12))
+		coldSel, coldTotal, _, coldExact := KnapsackSearch(values, weights, capacity)
+		if !coldExact {
+			continue
+		}
+		warms := [][]bool{
+			coldSel,
+			make([]bool, n), // empty seed
+			func() []bool { // stale seed: flip a few items, may be infeasible
+				w := append([]bool(nil), coldSel...)
+				for k := 0; k < 2 && k < n; k++ {
+					i := rng.Intn(n)
+					w[i] = !w[i]
+				}
+				return w
+			}(),
+			make([]bool, n+1), // mis-sized
+		}
+		for wi, warm := range warms {
+			sel, total, _, exact := KnapsackSearchFrom(values, weights, capacity, warm)
+			if !exact {
+				t.Fatalf("seed %d warm %d: warm search not exact while cold was", seed, wi)
+			}
+			if math.Abs(total-coldTotal) > 1e-9 {
+				t.Fatalf("seed %d warm %d: total %g != cold %g", seed, wi, total, coldTotal)
+			}
+			for i := range sel {
+				if sel[i] != coldSel[i] {
+					t.Fatalf("seed %d warm %d: selection %v != cold %v", seed, wi, sel, coldSel)
+				}
+			}
+		}
+	}
+}
+
+func TestKnapsackSearchFromPrunesHarder(t *testing.T) {
+	// With the optimum as floor the warm search must not expand more
+	// nodes than the cold search on any instance.
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		n := 8 + rng.Intn(10)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			values[i] = 1 + rng.Float64()*50
+			weights[i] = 1 + rng.Float64()*20
+		}
+		capacity := rng.Float64() * 60
+		coldSel, _, coldNodes, coldExact := KnapsackSearch(values, weights, capacity)
+		if !coldExact {
+			continue
+		}
+		_, _, warmNodes, _ := KnapsackSearchFrom(values, weights, capacity, coldSel)
+		if warmNodes > coldNodes {
+			t.Fatalf("seed %d: warm explored %d nodes > cold %d", seed, warmNodes, coldNodes)
+		}
+	}
+}

@@ -64,32 +64,97 @@ var errNodeBudget = errors.New("ilp: node budget exhausted before any feasible s
 // reconstruction, no tableau rebuild unless the inherited basis turns
 // primal infeasible.
 func Solve(p Problem, opts Options) (Solution, error) {
+	best := Solution{Objective: math.Inf(1)}
+	if obj, ok := incumbentObjective(p, opts.Incumbent); ok {
+		best = Solution{X: append([]int(nil), opts.Incumbent...), Objective: obj}
+	}
+	best, nodes, truncated, err := solveCore(p, opts.MaxNodes, best)
+	if err != nil {
+		return Solution{Nodes: nodes}, err
+	}
+	if math.IsInf(best.Objective, 1) {
+		if truncated {
+			return Solution{Nodes: nodes}, errNodeBudget
+		}
+		return Solution{Nodes: nodes}, ErrInfeasible
+	}
+	best.Nodes = nodes
+	// Optimality is exactly search exhaustion. (The old solver keyed
+	// this off nodes < maxNodes, wrongly reporting a completed search as
+	// truncated when the stack emptied on the budget's last node.)
+	best.Optimal = !truncated
+	return best, nil
+}
+
+// SolveFrom is the delta warm-start entry point: warm (a feasible
+// assignment carried over from a near-identical earlier problem, e.g.
+// the previous window's solution) seeds only the pruning *bound* of the
+// branch and bound — never the stored answer. The search must rediscover
+// its own optimum, so on a problem with a unique optimum SolveFrom
+// returns exactly the assignment a cold Solve would, while pruning with
+// the warm objective from the very first node. The slack added to the
+// seeded bound guarantees no ancestor of the cold search's first-found
+// optimum is ever pruned, even when the warm objective already equals
+// the optimum. If warm is mis-sized, non-binary or infeasible the call
+// degrades to a plain cold Solve. If the node budget truncates the
+// search before any assignment is found, the warm assignment itself is
+// returned with Optimal=false.
+func SolveFrom(p Problem, warm []int, opts Options) (Solution, error) {
+	warmObj, ok := incumbentObjective(p, warm)
+	if !ok {
+		opts.Incumbent = nil
+		return Solve(p, opts)
+	}
+	// slack must exceed the 1e-9 prune tolerance so lb == warmObj ==
+	// optimum survives: prune fires at lb >= bound-1e-9.
+	slack := 1e-9*(1+math.Abs(warmObj)) + 2e-9
+	best, nodes, truncated, err := solveCore(p, opts.MaxNodes, Solution{Objective: warmObj + slack})
+	if err != nil {
+		return Solution{Nodes: nodes}, err
+	}
+	if best.X == nil {
+		// Budget exhausted before the search re-found any assignment:
+		// fall back to the warm one, which is feasible by construction.
+		return Solution{X: append([]int(nil), warm...), Objective: warmObj, Nodes: nodes}, nil
+	}
+	best.Nodes = nodes
+	best.Optimal = !truncated
+	return best, nil
+}
+
+// incumbentObjective validates a candidate seed assignment and returns
+// its objective value.
+func incumbentObjective(p Problem, x []int) (float64, bool) {
 	n := len(p.C)
-	maxNodes := opts.MaxNodes
+	if len(x) != n || n == 0 {
+		return 0, false
+	}
+	for _, v := range x {
+		if v != 0 && v != 1 {
+			return 0, false
+		}
+	}
+	if !feasible(p, x) {
+		return 0, false
+	}
+	obj := 0.0
+	for i, v := range x {
+		obj += p.C[i] * float64(v)
+	}
+	return obj, true
+}
+
+// solveCore runs the shared-workspace branch and bound from an initial
+// incumbent (possibly bound-only: an objective ceiling with no stored X).
+func solveCore(p Problem, maxNodes int, best Solution) (Solution, int, bool, error) {
+	n := len(p.C)
 	if maxNodes <= 0 {
 		maxNodes = 100000
-	}
-	best := Solution{Objective: math.Inf(1)}
-	if len(opts.Incumbent) == n && n > 0 {
-		ok := true
-		for _, v := range opts.Incumbent {
-			if v != 0 && v != 1 {
-				ok = false
-				break
-			}
-		}
-		if ok && feasible(p, opts.Incumbent) {
-			obj := 0.0
-			for i, v := range opts.Incumbent {
-				obj += p.C[i] * float64(v)
-			}
-			best = Solution{X: append([]int(nil), opts.Incumbent...), Objective: obj}
-		}
 	}
 
 	w := newWorkspace(p)
 	if w == nil {
-		return Solution{}, ErrInfeasible
+		return Solution{}, 0, false, ErrInfeasible
 	}
 	nodes := 0
 	truncated := false
@@ -231,18 +296,7 @@ func Solve(p Problem, opts Options) (Solution, error) {
 	}
 	dfs()
 
-	best.Nodes = nodes
-	if math.IsInf(best.Objective, 1) {
-		if truncated {
-			return Solution{Nodes: nodes}, errNodeBudget
-		}
-		return Solution{Nodes: nodes}, ErrInfeasible
-	}
-	// Optimality is exactly search exhaustion. (The old solver keyed
-	// this off nodes < maxNodes, wrongly reporting a completed search as
-	// truncated when the stack emptied on the budget's last node.)
-	best.Optimal = !truncated
-	return best, nil
+	return best, nodes, truncated, nil
 }
 
 // BruteForce enumerates all 2^n assignments and returns the optimum. It
@@ -320,6 +374,24 @@ func Knapsack(values, weights []float64, capacity float64) (chosen []bool, total
 // potential recovery cost min(cost_d, cost_r), so the optimal memory set
 // maximizes saved cost subject to the memory capacity — a knapsack.
 func KnapsackSearch(values, weights []float64, capacity float64) (chosen []bool, total float64, searchNodes int, exact bool) {
+	return knapsackSearch(values, weights, capacity, nil)
+}
+
+// KnapsackSearchFrom is KnapsackSearch with a delta warm start: warm (a
+// selection carried over from a near-identical earlier instance) seeds
+// only the initial pruning bound, never the stored answer. The search
+// keeps its exact item order and acceptance rule, so it returns the
+// same selection a cold KnapsackSearch would — including under
+// equal-value ties — while pruning with the warm value from the first
+// node. An over-capacity or mis-sized warm selection is ignored. If the
+// node budget truncates the search before it re-finds any selection at
+// least as good as the floor, the warm selection itself is returned
+// with exact=false.
+func KnapsackSearchFrom(values, weights []float64, capacity float64, warm []bool) (chosen []bool, total float64, searchNodes int, exact bool) {
+	return knapsackSearch(values, weights, capacity, warm)
+}
+
+func knapsackSearch(values, weights []float64, capacity float64, warm []bool) (chosen []bool, total float64, searchNodes int, exact bool) {
 	n := len(values)
 	if n == 0 || capacity < 0 {
 		return make([]bool, n), 0, 0, true
@@ -388,6 +460,28 @@ func KnapsackSearch(values, weights []float64, capacity float64) (chosen []bool,
 	const nodeBudget = 200000
 	nodes := 0
 	bestVal := -1.0
+	// Delta warm start: a feasible carried-over selection sets the
+	// initial pruning floor just below its own value. The slack keeps
+	// every ancestor of the cold search's first-found optimum unpruned
+	// (the prune tolerance is 1e-12), so the warm search returns the
+	// identical selection while pruning hard from the first node.
+	warmFloor := false
+	warmVal := 0.0
+	if len(warm) == n {
+		var ww float64
+		for i, take := range warm {
+			if !take || values[i] <= 0 || weights[i] <= 0 {
+				continue
+			}
+			warmVal += values[i]
+			ww += weights[i]
+		}
+		if ww <= capacity && warmVal > 0 {
+			warmFloor = true
+			bestVal = warmVal - 1e-9*(1+warmVal)
+		}
+	}
+	found := false
 	cur := make([]bool, len(items))
 	bestSel := make([]bool, len(items))
 	var dfs func(k int, rem, val float64)
@@ -396,6 +490,7 @@ func KnapsackSearch(values, weights []float64, capacity float64) (chosen []bool,
 		if val > bestVal {
 			bestVal = val
 			copy(bestSel, cur)
+			found = true
 		}
 		if k >= len(items) || nodes > nodeBudget {
 			return
@@ -411,6 +506,26 @@ func KnapsackSearch(values, weights []float64, capacity float64) (chosen []bool,
 		dfs(k+1, rem, val)
 	}
 	dfs(0, capacity, 0)
+
+	if warmFloor && !found {
+		// The node budget ran out before the search re-found any
+		// selection at least as good as the floor: fall back to the
+		// warm selection, which is feasible by construction.
+		chosen = make([]bool, n)
+		for i := range zeroWeight {
+			if zeroWeight[i] {
+				chosen[i] = true
+				total += values[i]
+			}
+		}
+		for i, take := range warm {
+			if take && values[i] > 0 && weights[i] > 0 {
+				chosen[i] = true
+				total += values[i]
+			}
+		}
+		return chosen, total, nodes, false
+	}
 
 	chosen = make([]bool, n)
 	total = 0

@@ -178,6 +178,37 @@ type App struct {
 	// EqualDeterministic, which ignores it.
 	ILPSolveTime time.Duration
 
+	// WindowsRun counts micro-batch windows completed on a streaming
+	// session, and PartitionsRetired the partitions whose windowed
+	// lifetime passed and were removed from store and candidate set at a
+	// window boundary. Both stay zero on one-shot runs.
+	WindowsRun        int
+	PartitionsRetired int
+
+	// ILPDeltaSolves counts incremental optimizer re-solves at window
+	// boundaries (warm-started from the previous window's assignment);
+	// ILPColdSolves counts the from-scratch verification solves run
+	// alongside them when cold-solve verification is enabled, and
+	// ILPColdMismatches the boundaries where the two proved-optimal
+	// solves chose different cache sets (expected to stay zero).
+	ILPDeltaSolves    int
+	ILPColdSolves     int
+	ILPColdMismatches int
+
+	// ILPDeltaNodes and ILPColdNodes split the boundary search effort
+	// (branch-and-bound / knapsack nodes) between the incremental and
+	// cold solves, giving a hardware-independent view of the delta
+	// speedup alongside the wall-clock times.
+	ILPDeltaNodes int
+	ILPColdNodes  int
+
+	// ILPDeltaSolveTime and ILPColdSolveTime split the wall-clock solver
+	// time spent at window boundaries between the incremental re-solves
+	// and their cold verification counterparts. Like ILPSolveTime they
+	// are real time, not virtual, and are excluded by EqualDeterministic.
+	ILPDeltaSolveTime time.Duration
+	ILPColdSolveTime  time.Duration
+
 	// ProfilingTime is the virtual time spent in Blaze's dependency
 	// extraction phase, included in the ACT per §7.2.
 	ProfilingTime time.Duration
@@ -388,15 +419,22 @@ func (a *App) IncBlacklisted() {
 }
 
 // EqualDeterministic reports whether two finished runs agree on every
-// deterministic metric. ILPSolveTime is the one wall-clock field in App
-// — identical schedules legitimately differ on it across runs and
-// machines — so it is excluded; all other fields must match exactly.
-// Call only after both runs have finished: it reads and briefly rewrites
-// the excluded field without locking, like direct post-run field access.
+// deterministic metric. ILPSolveTime, ILPDeltaSolveTime and
+// ILPColdSolveTime are the wall-clock fields in App — identical
+// schedules legitimately differ on them across runs and machines — so
+// they are excluded; all other fields must match exactly. Call only
+// after both runs have finished: it reads and briefly rewrites the
+// excluded fields without locking, like direct post-run field access.
 func EqualDeterministic(a, b *App) bool {
 	at, bt := a.ILPSolveTime, b.ILPSolveTime
+	adt, bdt := a.ILPDeltaSolveTime, b.ILPDeltaSolveTime
+	act, bct := a.ILPColdSolveTime, b.ILPColdSolveTime
 	a.ILPSolveTime, b.ILPSolveTime = 0, 0
+	a.ILPDeltaSolveTime, b.ILPDeltaSolveTime = 0, 0
+	a.ILPColdSolveTime, b.ILPColdSolveTime = 0, 0
 	eq := reflect.DeepEqual(a, b)
 	a.ILPSolveTime, b.ILPSolveTime = at, bt
+	a.ILPDeltaSolveTime, b.ILPDeltaSolveTime = adt, bdt
+	a.ILPColdSolveTime, b.ILPColdSolveTime = act, bct
 	return eq
 }

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"errors"
+	"sync"
+
+	"blaze/internal/dataflow"
+	"blaze/internal/engine"
+)
+
+// ErrStreamClosed is returned by stream operations after Close.
+var ErrStreamClosed = errors.New("server: stream session closed")
+
+// streamCmd is one request to the stream session's driver loop: either
+// run fn in driver context (a window's DAG submission, or any driver-side
+// read), or — when fn is nil — advance to the next window.
+type streamCmd struct {
+	fn     func(ctx *dataflow.Context)
+	window chan int // receives the new window index on an advance
+	done   chan struct{}
+}
+
+// StreamSession is a micro-batch streaming session on the job server:
+// one long-lived server session whose driver is a command loop. Each
+// window's DAG is submitted through Do against the same dataflow
+// context, so datasets cached in window k (rank vectors, centroids) are
+// ordinary already-cached blocks in window k+1; NextWindow marks the
+// boundary, where the controller retires dead lineage and re-solves
+// placement incrementally. All methods must be called from one client
+// goroutine; jobs still interleave fairly with other sessions on the
+// shared pool.
+type StreamSession struct {
+	sess *Session
+
+	mu     sync.Mutex
+	closed bool
+	cmds   chan streamCmd
+}
+
+// SubmitStream admits a streaming session. JobSpec.Driver must be nil:
+// the stream owns the driver (a command loop that opens window 1 and
+// then serves Do/NextWindow requests). All other JobSpec fields apply
+// as for Submit.
+func (s *Server) SubmitStream(spec JobSpec) (*StreamSession, error) {
+	if spec.Driver != nil {
+		return nil, errors.New("server: stream sessions own their driver; leave JobSpec.Driver nil")
+	}
+	st := &StreamSession{cmds: make(chan streamCmd)}
+	spec.Driver = st.loop
+	sess, err := s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	st.sess = sess
+	return st, nil
+}
+
+// loop is the stream session's driver: it opens window 1 and serves
+// commands until Close. A cancellation panic from a window's jobs
+// unwinds through here to the session's recovery; the blocked client
+// call observes the session's done channel instead of its reply.
+func (st *StreamSession) loop(ctx *dataflow.Context) {
+	cl, _ := ctx.Runner().(*engine.Cluster)
+	if cl != nil {
+		cl.StartWindow()
+	}
+	for cmd := range st.cmds {
+		if cmd.fn != nil {
+			cmd.fn(ctx)
+		} else if cl != nil {
+			cmd.window <- cl.StartWindow()
+		}
+		close(cmd.done)
+	}
+}
+
+// Session returns the underlying server session.
+func (st *StreamSession) Session() *Session { return st.sess }
+
+// Do runs fn in the session's driver context and blocks until it
+// returns: dataflow actions inside fn execute as jobs on the shared
+// pool under fair-share scheduling. Returns the session's error if it
+// ended (cancellation) before fn completed.
+func (st *StreamSession) Do(fn func(ctx *dataflow.Context)) error {
+	cmd := streamCmd{fn: fn, done: make(chan struct{})}
+	return st.send(cmd)
+}
+
+// NextWindow closes the current micro-batch window and opens the next:
+// the controller retires lineage whose lifetime has passed and re-solves
+// the ILP as a delta on the previous window's assignment. Returns the
+// new 1-based window index.
+func (st *StreamSession) NextWindow() (int, error) {
+	cmd := streamCmd{window: make(chan int, 1), done: make(chan struct{})}
+	if err := st.send(cmd); err != nil {
+		return 0, err
+	}
+	select {
+	case w := <-cmd.window:
+		return w, nil
+	default:
+		return 0, ErrStreamClosed
+	}
+}
+
+// send delivers one command to the driver loop and waits for it.
+func (st *StreamSession) send(cmd streamCmd) error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrStreamClosed
+	}
+	cmds := st.cmds
+	st.mu.Unlock()
+
+	select {
+	case cmds <- cmd:
+	case <-st.sess.done:
+		return st.endErr()
+	}
+	select {
+	case <-cmd.done:
+		return nil
+	case <-st.sess.done:
+		return st.endErr()
+	}
+}
+
+func (st *StreamSession) endErr() error {
+	if st.sess.err != nil {
+		return st.sess.err
+	}
+	return ErrStreamClosed
+}
+
+// Close ends the stream: the driver loop exits, the session finishes
+// (metrics sealed, namespace blocks released) and its final error is
+// returned. Idempotent.
+func (st *StreamSession) Close() error {
+	st.mu.Lock()
+	if !st.closed {
+		st.closed = true
+		close(st.cmds)
+	}
+	st.mu.Unlock()
+	return st.sess.Wait()
+}

@@ -94,9 +94,11 @@ type JobSpec struct {
 	// DiskCapacity adds the per-executor disk constraint to the Blaze
 	// ILP when positive.
 	DiskCapacity int64
-	// ILPWindow overrides the Blaze ILP's successor-job window, as in
-	// RunConfig.
-	ILPWindow *int
+	// ILPWindow selects the Blaze ILP's successor-job window, as in
+	// RunConfig: ILPWindowDefault keeps the default of 1,
+	// ILPWindowCurrentJobOnly disables lookahead, positive values widen
+	// the horizon.
+	ILPWindow int
 	// EventLog, when non-nil, records this job's execution events.
 	EventLog *EventLog
 	// Faults attaches a deterministic fault-injection schedule.

@@ -1,0 +1,339 @@
+package blaze
+
+// This file is the public micro-batch streaming surface: a Session is a
+// long-lived run against a private cluster under which the same logical
+// DAG is re-submitted once per window (Submit), window boundaries are
+// explicit (NextWindow) and the final metrics arrive at Close. Across a
+// boundary the controller retires lineage whose lifetime has passed and
+// re-solves the cache-placement ILP as a delta on the previous window's
+// assignment — the streaming counterpart of calling one-shot Run in a
+// loop, which would rebuild the cluster, lose all cached state and
+// re-solve from scratch every window.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"blaze/internal/core"
+	"blaze/internal/dataflow"
+	"blaze/internal/engine"
+	"blaze/internal/metrics"
+	"blaze/internal/server"
+)
+
+// SessionConfig describes a streaming session. Unlike RunConfig there is
+// no Workload field: the caller submits each window's DAG through
+// Session.Submit (prebuilt streaming workloads live in StreamWorkload).
+type SessionConfig struct {
+	// System selects the caching system (default SysBlaze). Blaze-family
+	// systems build their lineage on the run — a stream has no fixed
+	// plan to profile ahead of time — so sessions charge no profiling
+	// overhead.
+	System SystemID
+	// Executors defaults to 8; Cores to 1.
+	Executors int
+	Cores     int
+	// Parallelism is the engine's OS-level worker count; it changes only
+	// wall-clock time, never metrics or event logs.
+	Parallelism int
+	// MemoryPerExecutor fixes the memory-store capacity and must be
+	// positive: a session hosts arbitrary window DAGs, so there is no
+	// single workload to calibrate against (same rule as ServerConfig).
+	MemoryPerExecutor int64
+	// CostParams overrides the cost model; the zero value uses
+	// EvalParams(1.0). Streaming workload specs carry their own
+	// serialization factor — pass EvalParams(spec.SerFactor) to match
+	// the batch harness's pricing.
+	CostParams CostParams
+	// DiskCapacity adds the per-executor disk constraint to the Blaze
+	// ILP when positive.
+	DiskCapacity int64
+	// ILPWindow selects the Blaze ILP's successor-job horizon, as in
+	// RunConfig (sentinels ILPWindowDefault, ILPWindowCurrentJobOnly).
+	ILPWindow int
+	// EventLog, when non-nil, records execution events, including the
+	// streaming kinds (window_start, partition_retired, ilp_delta_solve).
+	EventLog *EventLog
+	// ColdSolveVerify re-solves every window-boundary delta instance
+	// from scratch alongside the warm-started delta solve and counts
+	// disagreements between proven optima in ILPColdMismatches. Only
+	// meaningful for the Blaze systems; used by tests and blazebench to
+	// hold the delta-equals-cold invariant.
+	ColdSolveVerify bool
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.System == "" {
+		c.System = SysBlaze
+	}
+	if c.Executors == 0 {
+		c.Executors = 8
+	}
+	return c
+}
+
+// Validate checks the configuration without building the cluster.
+func (c SessionConfig) Validate() error {
+	if c.Executors < 0 {
+		return fmt.Errorf("blaze: Executors must be >= 0 (0 means default 8), got %d", c.Executors)
+	}
+	if c.Cores < 0 {
+		return fmt.Errorf("blaze: Cores must be >= 0 (0 means default 1), got %d", c.Cores)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("blaze: Parallelism must be >= 0 (0 means all CPUs), got %d", c.Parallelism)
+	}
+	if c.MemoryPerExecutor <= 0 {
+		return errors.New("blaze: SessionConfig.MemoryPerExecutor must be positive (a session has no single workload to calibrate against)")
+	}
+	if c.DiskCapacity < 0 {
+		return fmt.Errorf("blaze: DiskCapacity must be >= 0 (0 means unconstrained), got %d", c.DiskCapacity)
+	}
+	if c.ILPWindow < ILPWindowCurrentJobOnly {
+		return fmt.Errorf("blaze: ILPWindow must be >= %d (ILPWindowCurrentJobOnly), got %d", ILPWindowCurrentJobOnly, c.ILPWindow)
+	}
+	if err := validateSystem(c.System); err != nil {
+		return err
+	}
+	if !c.CostParams.IsZero() {
+		return c.CostParams.Validate()
+	}
+	return nil
+}
+
+// WindowStats is one window's share of the run: the deltas of the
+// cumulative metrics between this window's start and end boundaries.
+// The two SolveTime fields are wall-clock measurements and are excluded
+// from EqualDeterministic; everything else is virtual-time deterministic
+// and bit-identical at every Parallelism.
+type WindowStats struct {
+	Window int
+	// Cache traffic inside the window.
+	MemHits, DiskHits, Misses int
+	Evictions                 int
+	// Windowed-lineage activity at the window's start boundary.
+	PartitionsRetired int
+	// Incremental optimizer activity at the window's start boundary.
+	ILPDeltaSolves, ILPDeltaNodes                  int
+	ILPColdSolves, ILPColdNodes, ILPColdMismatches int
+	ILPDeltaSolveTime, ILPColdSolveTime            time.Duration
+}
+
+// EqualDeterministic reports whether two windows agree on every
+// deterministic field (the wall-clock solve times are excluded).
+func (w WindowStats) EqualDeterministic(o WindowStats) bool {
+	w.ILPDeltaSolveTime, w.ILPColdSolveTime = 0, 0
+	o.ILPDeltaSolveTime, o.ILPColdSolveTime = 0, 0
+	return w == o
+}
+
+// cumSnap is the cumulative-counter snapshot WindowStats deltas are
+// computed from.
+type cumSnap struct {
+	memHits, diskHits, misses, evictions  int
+	retired, deltaSolves, deltaNodes      int
+	coldSolves, coldNodes, coldMismatches int
+	deltaTime, coldTime                   time.Duration
+}
+
+func snapFrom(m *metrics.App) cumSnap {
+	return cumSnap{
+		memHits: m.CacheHits, diskHits: m.DiskHits, misses: m.Misses, evictions: m.Evictions,
+		retired: m.PartitionsRetired, deltaSolves: m.ILPDeltaSolves, deltaNodes: m.ILPDeltaNodes,
+		coldSolves: m.ILPColdSolves, coldNodes: m.ILPColdNodes, coldMismatches: m.ILPColdMismatches,
+		deltaTime: m.ILPDeltaSolveTime, coldTime: m.ILPColdSolveTime,
+	}
+}
+
+func (cur cumSnap) diff(prev cumSnap, window int) WindowStats {
+	return WindowStats{
+		Window:            window,
+		MemHits:           cur.memHits - prev.memHits,
+		DiskHits:          cur.diskHits - prev.diskHits,
+		Misses:            cur.misses - prev.misses,
+		Evictions:         cur.evictions - prev.evictions,
+		PartitionsRetired: cur.retired - prev.retired,
+		ILPDeltaSolves:    cur.deltaSolves - prev.deltaSolves,
+		ILPDeltaNodes:     cur.deltaNodes - prev.deltaNodes,
+		ILPColdSolves:     cur.coldSolves - prev.coldSolves,
+		ILPColdNodes:      cur.coldNodes - prev.coldNodes,
+		ILPColdMismatches: cur.coldMismatches - prev.coldMismatches,
+		ILPDeltaSolveTime: cur.deltaTime - prev.deltaTime,
+		ILPColdSolveTime:  cur.coldTime - prev.coldTime,
+	}
+}
+
+// Session is a micro-batch streaming run. Create one with NewSession,
+// submit each window's DAG with Submit, advance with NextWindow, and
+// collect the final Result with Close. Methods must be called from one
+// goroutine.
+type Session struct {
+	cfg       SessionConfig
+	annotated bool
+	srv       *server.Server
+	st        *server.StreamSession
+	window    int
+	prev      cumSnap
+	windows   []WindowStats
+	closed    bool
+}
+
+// NewSession builds the private cluster and opens window 1.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := buildStreamSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	params := EvalParams(1.0)
+	if !cfg.CostParams.IsZero() {
+		params = cfg.CostParams
+	}
+	srv, err := server.New(server.Config{
+		Executors:         cfg.Executors,
+		CoresPerExecutor:  cfg.Cores,
+		MemoryPerExecutor: cfg.MemoryPerExecutor,
+		Parallelism:       cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := srv.SubmitStream(server.JobSpec{
+		Controller:  sys.ctl,
+		Params:      params,
+		AlluxioMode: sys.alluxio,
+		EventLog:    cfg.EventLog,
+		Parallelism: cfg.Parallelism,
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &Session{cfg: cfg, annotated: sys.annotated, srv: srv, st: st, window: 1}, nil
+}
+
+// buildStreamSystem is buildSystem for sessions: the Blaze-family
+// systems are built without a profiling skeleton (their lineage grows on
+// the run), annotation-based systems reuse the batch recipes.
+func buildStreamSystem(cfg SessionConfig) (systemSpec, error) {
+	blazeSpec := func(b *core.Controller) systemSpec {
+		if cfg.DiskCapacity > 0 {
+			b.WithDiskCapacity(cfg.DiskCapacity)
+		}
+		switch {
+		case cfg.ILPWindow > 0:
+			b.WithWindow(cfg.ILPWindow)
+		case cfg.ILPWindow == ILPWindowCurrentJobOnly:
+			b.WithWindow(0)
+		}
+		b.WithColdVerify(cfg.ColdSolveVerify)
+		return systemSpec{ctl: b}
+	}
+	switch cfg.System {
+	case SysBlaze, SysBlazeNoProfile:
+		return blazeSpec(core.NewBlaze()), nil
+	case SysBlazeMem:
+		return blazeSpec(core.NewBlazeMemOnly()), nil
+	case SysAutoCache:
+		return systemSpec{ctl: core.NewAutoCache()}, nil
+	case SysCostAware:
+		return systemSpec{ctl: core.NewCostAware()}, nil
+	default:
+		// Annotation-based systems and policy systems never touch the
+		// profiling skeleton, so the batch recipe applies unchanged.
+		return buildSystem(RunConfig{System: cfg.System}.withDefaults(), WorkloadSpec{})
+	}
+}
+
+// ErrSessionClosed is returned by Session operations after Close.
+var ErrSessionClosed = errors.New("blaze: session closed")
+
+// Submit runs one window's DAG: driver executes in the session's driver
+// context, its actions submitting jobs to the session cluster. Datasets
+// cached by earlier windows are ordinary cached blocks here — carried
+// state (rank vectors, centroids) flows across windows for free.
+func (s *Session) Submit(driver func(ctx *Context)) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	return s.st.Do(driver)
+}
+
+// Window returns the current 1-based window index.
+func (s *Session) Window() int { return s.window }
+
+// NextWindow closes the current window and opens the next: the
+// controller retires lineage whose lifetime has passed and re-solves the
+// placement ILP as a delta on the previous window's assignment. The
+// closing window's WindowStats entry is captured at the boundary.
+// Returns the new window index.
+func (s *Session) NextWindow() (int, error) {
+	if s.closed {
+		return 0, ErrSessionClosed
+	}
+	if err := s.capture(); err != nil {
+		return 0, err
+	}
+	w, err := s.st.NextWindow()
+	if err != nil {
+		return 0, err
+	}
+	s.window = w
+	return w, nil
+}
+
+// capture appends the closing window's stats delta.
+func (s *Session) capture() error {
+	var cur cumSnap
+	err := s.st.Do(func(ctx *dataflow.Context) {
+		if cl, ok := ctx.Runner().(*engine.Cluster); ok {
+			cur = snapFrom(cl.Metrics())
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s.windows = append(s.windows, cur.diff(s.prev, s.window))
+	s.prev = cur
+	return nil
+}
+
+// WindowStats returns the per-window metric deltas captured so far (one
+// entry per completed window; Close captures the final window).
+func (s *Session) WindowStats() []WindowStats {
+	out := make([]WindowStats, len(s.windows))
+	copy(out, s.windows)
+	return out
+}
+
+// Close ends the session: the final window's stats are captured, the
+// cluster finishes and the sealed Result is returned. Idempotent in the
+// sense that later calls return ErrSessionClosed.
+func (s *Session) Close() (*Result, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.closed = true
+	captureErr := s.capture()
+	err := s.st.Close()
+	s.srv.Close()
+	if err != nil {
+		return nil, err
+	}
+	if captureErr != nil {
+		return nil, captureErr
+	}
+	m := s.st.Session().Metrics()
+	if m == nil {
+		return nil, errors.New("blaze: session finished without metrics")
+	}
+	return &Result{
+		System:            s.cfg.System,
+		Metrics:           m,
+		MemoryPerExecutor: s.cfg.MemoryPerExecutor,
+	}, nil
+}
