@@ -261,6 +261,7 @@ func main() {
 	storagePath := flag.String("storage", "", "run the real-bytes storage benchmark (measured vs modeled) and write the JSON report to this path")
 	serverPath := flag.String("server", "", "run the multi-tenant job-server benchmark (shared Blaze cache vs static partitioning) and write the JSON report to this path")
 	streamPath := flag.String("stream", "", "run the micro-batch streaming benchmark (windowed lineage + incremental ILP re-solve) and write the JSON report to this path")
+	recoveryPath := flag.String("recovery", "", "run the crash-recovery benchmark (checkpoint overhead, mid-stream kill + resume, bit-identity check) and write the JSON report to this path")
 	faultSpec := flag.String("faults", "", "run the fault soak instead of figures: comma-separated classes (exec, block, shuffle, exec-death, bucket, task-flake, fetch-flake, straggler, permanent, transient, all)")
 	resSpec := flag.String("resilience", "", "resilience knobs for the fault soak: retries=3,fetch-retries=2,backoff=2ms,spec=2,blacklist=3,cooldown=2")
 	workload := flag.String("workload", "pr", "workload for the fault soak: pr, cc, lr, kmeans, gbt, svdpp")
@@ -281,6 +282,18 @@ func main() {
 	}
 	if *streamPath != "" {
 		runStreamBench(*streamPath, *executors, *scale)
+		return
+	}
+	if *recoveryPath != "" {
+		// Like the server bench, the documented operating point is scale
+		// 0.5 unless -scale was given explicitly.
+		recScale := 0.5
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				recScale = *scale
+			}
+		})
+		runRecoveryBench(*recoveryPath, *executors, recScale)
 		return
 	}
 	if *serverPath != "" {

@@ -1,0 +1,205 @@
+package main
+
+// The crash-recovery benchmark (-recovery): for every registered stream
+// workload, measure what durability costs and what recovery buys. Each
+// workload runs three ways — an uninterrupted durable run (checkpoint
+// overhead per boundary), a durable run killed at the middle boundary,
+// and the resume of that kill — plus a plain run as the bit-identity
+// reference. The run fails (non-zero exit) if the resumed stream is not
+// bit-identical to the uninterrupted one (window stats, final metrics,
+// event log), if the post-resume plan repair disagreed with the
+// from-scratch solve, or if no checkpoints were actually written; CI
+// runs this as the recovery smoke job.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"blaze"
+)
+
+// checkpointRow is one committed boundary checkpoint's accounting.
+type checkpointRow struct {
+	Window int     `json:"window"`
+	Blocks int     `json:"blocks"`
+	Bytes  int64   `json:"bytes"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// recoveryEntry is one stream workload's report row.
+type recoveryEntry struct {
+	Workload    string          `json:"workload"`
+	Windows     int             `json:"windows"`
+	CrashWindow int             `json:"crash_window"`
+	Checkpoints []checkpointRow `json:"checkpoints"`
+	// CheckpointMs is the total wall time spent writing checkpoints in
+	// the uninterrupted durable run; UninterruptedMs its full wall time.
+	CheckpointMs    float64 `json:"checkpoint_ms"`
+	UninterruptedMs float64 `json:"uninterrupted_ms"`
+	// RecoveryMs is the resume's wall time (replay + rehydrate + the
+	// remaining live windows); ColdRerunMs a from-scratch re-run's.
+	RecoveryMs  float64 `json:"recovery_ms"`
+	ColdRerunMs float64 `json:"cold_rerun_ms"`
+	// WindowMismatches counts per-window stat divergences between the
+	// resumed run and the uninterrupted reference (must be 0).
+	WindowMismatches int  `json:"window_mismatches"`
+	MetricsMatch     bool `json:"metrics_match"`
+	EventsMatch      bool `json:"events_match"`
+	RepairSolves     int  `json:"repair_solves"`
+	RepairMismatches int  `json:"repair_mismatches"`
+}
+
+type recoveryReport struct {
+	Entries []recoveryEntry `json:"entries"`
+	Note    string          `json:"note"`
+}
+
+func recoveryStreamConfig(wl blaze.StreamWorkloadID, windows, executors int, scale float64,
+	dir string, crashWindow int, log, recLog *blaze.EventLog) blaze.StreamConfig {
+	return blaze.StreamConfig{
+		Workload:          wl,
+		Windows:           windows,
+		Scale:             scale,
+		Executors:         executors,
+		MemoryPerExecutor: 1 << 20,
+		EventLog:          log,
+		ColdSolveVerify:   true,
+		CheckpointDir:     dir,
+		CrashWindow:       crashWindow,
+		RecoveryLog:       recLog,
+	}
+}
+
+// runRecoveryBench executes the crash-recovery experiment and writes the
+// JSON report.
+func runRecoveryBench(path string, executors int, scale float64) {
+	const windows = 6
+	rep := recoveryReport{
+		Note: "recovery = resume wall time from the mid-stream checkpoint (replay + state rehydrate + repair solve + remaining windows); cold_rerun = from-scratch wall time; window_mismatches compares the resumed run to the uninterrupted durable run and must be 0",
+	}
+	failed := false
+	for _, wl := range blaze.AllStreamWorkloads() {
+		crashAt := windows/2 + 1 // middle boundary, always >= 2
+
+		// Uninterrupted durable run: the bit-identity reference and the
+		// checkpoint-overhead measurement.
+		baseLog := blaze.NewEventLog()
+		dir, err := os.MkdirTemp("", "blaze-recovery-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		start := time.Now()
+		base, err := blaze.RunStream(recoveryStreamConfig(wl, windows, executors, scale, dir, 0, baseLog, nil))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %s: %v\n", wl, err)
+			os.Exit(1)
+		}
+		uninterrupted := time.Since(start)
+
+		e := recoveryEntry{
+			Workload:        string(wl),
+			Windows:         windows,
+			CrashWindow:     crashAt,
+			UninterruptedMs: float64(uninterrupted.Microseconds()) / 1000,
+		}
+		var ckWall time.Duration
+		for _, ck := range base.Checkpoints {
+			ckWall += ck.Wall
+			e.Checkpoints = append(e.Checkpoints, checkpointRow{
+				Window: ck.Window, Blocks: ck.Blocks, Bytes: ck.Bytes,
+				WallMs: float64(ck.Wall.Microseconds()) / 1000,
+			})
+		}
+		e.CheckpointMs = float64(ckWall.Microseconds()) / 1000
+
+		// Crash at the middle boundary, then resume.
+		crashDir, err := os.MkdirTemp("", "blaze-recovery-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(crashDir)
+		_, err = blaze.RunStream(recoveryStreamConfig(wl, windows, executors, scale, crashDir, crashAt, blaze.NewEventLog(), nil))
+		if !errors.Is(err, blaze.ErrSessionCrashed) {
+			fmt.Fprintf(os.Stderr, "blazebench: %s: crash run returned %v, want session crash\n", wl, err)
+			os.Exit(1)
+		}
+		resLog := blaze.NewEventLog()
+		recLog := blaze.NewEventLog()
+		start = time.Now()
+		res, err := blaze.ResumeStream(recoveryStreamConfig(wl, windows, executors, scale, crashDir, 0, resLog, recLog))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %s: resume: %v\n", wl, err)
+			os.Exit(1)
+		}
+		e.RecoveryMs = float64(time.Since(start).Microseconds()) / 1000
+
+		// Cold re-run: what recovery would cost without checkpoints.
+		start = time.Now()
+		if _, err := blaze.RunStream(recoveryStreamConfig(wl, windows, executors, scale, "", 0, blaze.NewEventLog(), nil)); err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %s: cold re-run: %v\n", wl, err)
+			os.Exit(1)
+		}
+		e.ColdRerunMs = float64(time.Since(start).Microseconds()) / 1000
+
+		// Bit-identity verification against the uninterrupted run.
+		for i := range base.Windows {
+			if i >= len(res.Windows) || !base.Windows[i].EqualDeterministic(res.Windows[i]) {
+				e.WindowMismatches++
+			}
+		}
+		if len(res.Windows) != len(base.Windows) {
+			e.WindowMismatches += len(base.Windows) - len(res.Windows)
+		}
+		e.MetricsMatch = blaze.MetricsEqualDeterministic(base.Metrics, res.Metrics)
+		be, re := baseLog.Events(), resLog.Events()
+		e.EventsMatch = len(be) == len(re)
+		for i := 0; e.EventsMatch && i < len(be); i++ {
+			e.EventsMatch = be[i] == re[i]
+		}
+		e.RepairSolves = res.Metrics.RepairSolves
+		e.RepairMismatches = res.Metrics.RepairMismatches
+		rep.Entries = append(rep.Entries, e)
+
+		switch {
+		case e.WindowMismatches != 0 || !e.MetricsMatch || !e.EventsMatch:
+			fmt.Fprintf(os.Stderr, "blazebench: %s: resumed run diverges (window mismatches %d, metrics match %v, events match %v)\n",
+				wl, e.WindowMismatches, e.MetricsMatch, e.EventsMatch)
+			failed = true
+		case e.RepairSolves == 0:
+			fmt.Fprintf(os.Stderr, "blazebench: %s: resume ran no plan-repair solves\n", wl)
+			failed = true
+		case e.RepairMismatches != 0:
+			fmt.Fprintf(os.Stderr, "blazebench: %s: %d plan-repair/cold-solve disagreements\n", wl, e.RepairMismatches)
+			failed = true
+		case len(e.Checkpoints) == 0:
+			fmt.Fprintf(os.Stderr, "blazebench: %s: durable run wrote no checkpoints\n", wl)
+			failed = true
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Entries {
+		fmt.Printf("%-14s windows %d crash@%d  ckpt %5.1fms/%d  uninterrupted %7.1fms  recovery %7.1fms  cold-rerun %7.1fms  mismatches %d  repair %d/%d\n",
+			e.Workload, e.Windows, e.CrashWindow, e.CheckpointMs, len(e.Checkpoints),
+			e.UninterruptedMs, e.RecoveryMs, e.ColdRerunMs,
+			e.WindowMismatches, e.RepairSolves, e.RepairMismatches)
+	}
+	fmt.Printf("(report written to %s)\n", path)
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -234,7 +234,28 @@ func main() {
 	maxActive := flag.Int("max-active", 0, "bound on concurrently active sessions (0 = unbounded)")
 	arbitrate := flag.Bool("arbitrate", false, "re-run each Blaze job-start ILP across all admitted sessions")
 	events := flag.String("events", "", "write the server's session/arbitration event log to this path on shutdown")
+	stream := flag.String("stream", "", "run one durable micro-batch stream in the foreground instead of serving HTTP (stream-pr, stream-kmeans)")
+	windows := flag.Int("windows", 6, "stream mode: number of micro-batch windows")
+	scale := flag.Float64("scale", 0.5, "stream mode: per-window input scale")
+	checkpointDir := flag.String("checkpoint", "", "stream mode: durable checkpoint directory (required with -stream)")
+	crashWindow := flag.Int("crash-window", 0, "stream mode: kill the session at this window boundary and exit 3 (0 = never)")
+	resume := flag.Bool("resume", false, "stream mode: resume from the newest checkpoint, verify against an uninterrupted reference run")
 	flag.Parse()
+
+	if *stream != "" {
+		runStreamMode(streamModeConfig{
+			workload:    *stream,
+			windows:     *windows,
+			executors:   *executors,
+			memory:      *memory,
+			parallelism: *parallelism,
+			scale:       *scale,
+			checkpoint:  *checkpointDir,
+			crashWindow: *crashWindow,
+			resume:      *resume,
+		})
+		return
+	}
 
 	tenants, err := parseTenants(*tenantSpec)
 	if err != nil {
@@ -280,7 +301,9 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		_ = hsrv.Shutdown(ctx)
-		srv.Close()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "blazed: drain deadline hit, jobs cancelled: %v\n", err)
+		}
 		if log != nil {
 			f, err := os.Create(*events)
 			if err != nil {

@@ -67,7 +67,19 @@ const (
 	// a bounded window of tasks, triggering speculative execution when
 	// Resilience enables it.
 	FaultStraggler = faults.Straggler
+	// FaultServerCrash kills a whole streaming session deterministically
+	// at a window boundary, right after its checkpoint commits. Unlike
+	// the other classes it is not drawn from random schedules: it is
+	// placed explicitly via SessionConfig.CrashWindow, and recovery means
+	// resuming the session (ResumeSession), not in-run recomputation.
+	FaultServerCrash = faults.ServerCrash
 )
+
+// ErrSessionCrashed is returned by Session and stream operations after
+// an injected server crash (SessionConfig.CrashWindow) killed the
+// session. The session's durable state survives under its
+// CheckpointDir; ResumeSession continues it.
+var ErrSessionCrashed = faults.ErrServerCrash
 
 // ParseFaultClasses parses a comma-separated class list
 // ("exec,shuffle", "task-flake,straggler", the groups

@@ -1,0 +1,134 @@
+package core
+
+// This file implements post-recovery plan repair: after the cluster's
+// state changes out from under the optimizer's plan — an executor dies
+// and its partitions migrate, or a crashed session is rehydrated from a
+// checkpoint — RepairPlan re-solves the cache-placement problem over
+// the *surviving* candidate set and re-applies the assignment, instead
+// of letting the stale targetState silently misdirect promotions and
+// admissions (the ROADMAP gap: "post-recovery cluster state invalidates
+// the original plan silently").
+//
+// The repair solve deliberately bypasses the per-executor solution memo
+// in both directions: it neither reuses entries (the surviving
+// candidate set rarely fingerprint-matches a pre-crash instance) nor
+// stores new ones. Storing would evict pre-crash entries from the
+// bounded memo and change later windows' hit/miss pattern, breaking the
+// invariant that a resumed run is bit-identical to an uninterrupted
+// one. All repair effort is accounted to the dedicated Repair* metrics,
+// which are excluded from deterministic comparison for the same reason.
+
+import (
+	"time"
+
+	"blaze/internal/engine"
+	"blaze/internal/eventlog"
+	"blaze/internal/ilp"
+	"blaze/internal/storage"
+)
+
+// RepairPlan implements engine.PlanRepairer: one full re-solve of the
+// placement problem over the current (surviving) candidates, mirroring
+// the window-boundary fixed point — price, solve warm-started from the
+// last assignment, re-price under the hypothetical, solve again, apply.
+// Events are emitted through emit so callers can route them to the main
+// log (executor death, where repair is part of the run) or to a
+// recovery-only log (crash resume, where the main log must stay
+// bit-identical to an uninterrupted run). window is stamped on the
+// events; pass 0 outside streaming.
+func (b *Controller) RepairPlan(window int, emit func(eventlog.Event)) {
+	if !b.feat.ILP {
+		return
+	}
+	b.targetState = make(map[storage.BlockID]engine.Placement)
+
+	for _, ex := range b.c.Executors() {
+		cands := b.gatherCandidates(ex)
+		if len(cands) == 0 {
+			continue
+		}
+
+		b.priceCandidates(cands, nil)
+		perturbBoundaryCosts(cands)
+		chosen := b.repairSolve(ex, cands, b.warmFrom(ex, cands), window, emit)
+		hypo := make(map[storage.BlockID]bool, len(cands))
+		for i, c := range cands {
+			hypo[c.id] = chosen[i]
+		}
+		b.priceCandidates(cands, hypo)
+		perturbBoundaryCosts(cands)
+		chosen = b.repairSolve(ex, cands, chosen, window, emit)
+
+		b.applyAssignment(ex, cands, chosen)
+	}
+}
+
+// repairSolve runs one memo-less repair solve with Repair* accounting
+// and one ilp_repair_solve event. With cold verification enabled the
+// identical instance is additionally solved from scratch and proven
+// optima are compared into RepairMismatches (expected to stay zero —
+// the warm seed only prunes the search, never changes the optimum).
+func (b *Controller) repairSolve(ex *engine.Executor, cands []candidate, warm []bool, window int, emit func(eventlog.Event)) []bool {
+	start := time.Now()
+	r := b.repairSolveExecutor(ex, cands, warm)
+	met := b.c.Metrics()
+	met.RepairSolves++
+	met.RepairNodes += r.nodes
+	met.RepairSolveTime += time.Since(start)
+	emit(eventlog.Event{
+		Kind: eventlog.ILPRepairSolve, Time: b.c.Now(), Job: b.curJob,
+		Executor: ex.ID, Vars: r.vars, Nodes: r.nodes,
+		Optimal: r.optimal, Fallback: r.fallback,
+		Window: window,
+	})
+
+	if b.coldVerify {
+		cr := b.coldSolveExecutor(ex, cands)
+		if r.optimal && cr.optimal && !boolsEqual(r.chosen, cr.chosen) {
+			met.RepairMismatches++
+		}
+	}
+	return r.chosen
+}
+
+// repairSolveExecutor is solveBoundaryExecutor without the memo: the
+// same knapsack fast path / exact branch-and-bound split, warm-started
+// through the bound-only delta entry points.
+func (b *Controller) repairSolveExecutor(ex *engine.Executor, cands []candidate, warm []bool) solveResult {
+	memCap := float64(ex.Mem.Capacity())
+
+	if b.ilpDiskCapacity <= 0 {
+		values, weights := b.knapsackInputs(cands)
+		chosen, _, nodes, exact := ilp.KnapsackSearchFrom(values, weights, memCap, warm)
+		return solveResult{chosen: chosen, vars: len(cands), nodes: nodes, optimal: exact, fallback: !exact}
+	}
+
+	active := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if c.costD > 0 || c.costR > 0 {
+			active = append(active, i)
+		}
+	}
+	chosen := make([]bool, len(cands))
+	n := len(active)
+	if n == 0 {
+		return solveResult{chosen: chosen, optimal: true}
+	}
+	if n > maxExactVars {
+		values, weights := b.knapsackInputs(cands)
+		ch, _, nodes, _ := ilp.KnapsackSearchFrom(values, weights, memCap, warm)
+		return solveResult{chosen: ch, vars: len(cands), nodes: nodes, fallback: true}
+	}
+
+	prob := b.boundaryProblem(cands, active, memCap)
+	sol, err := ilp.SolveFrom(prob, b.incumbentFrom(warm, cands, active), ilp.Options{MaxNodes: ilpNodeBudget})
+	if err != nil {
+		values, weights := b.knapsackInputs(cands)
+		ch, _, nodes, _ := ilp.KnapsackSearchFrom(values, weights, memCap, warm)
+		return solveResult{chosen: ch, vars: 3 * n, nodes: nodes, fallback: true}
+	}
+	for j, idx := range active {
+		chosen[idx] = sol.X[3*j] == 1
+	}
+	return solveResult{chosen: chosen, vars: 3 * n, nodes: sol.Nodes, optimal: sol.Optimal, fallback: !sol.Optimal}
+}

@@ -1,0 +1,260 @@
+package core
+
+// This file implements the controller half of window-boundary
+// checkpointing: SnapshotState serializes everything the unified
+// decision layer accumulates over a run (the CostLineage with its
+// regression series, reference offsets and ordinal counters; the
+// windowed-lineage retirement set; the last solved memory assignment
+// per executor; the optimizer's target states and solution memo) into
+// a self-contained gob payload, and RestoreState rehydrates a freshly
+// Bind-ed controller from one. The estimators are deliberately not
+// serialized — they are stateless between decision rounds and hold a
+// pointer to the lineage, which is why RestoreState mutates the bound
+// lineage in place instead of swapping the pointer.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"blaze/internal/engine"
+	"blaze/internal/regression"
+	"blaze/internal/storage"
+)
+
+// nodeWire is the gob form of a lineage Node (the metric slices are
+// unexported on Node itself).
+type nodeWire struct {
+	Key         NodeKey
+	Parents     []Edge
+	DatasetID   int
+	Parts       int
+	CreationJob int
+	TouchedJob  int
+	Sizes       []int64
+	Costs       []time.Duration
+	Observed    []bool
+}
+
+// roleSeriesWire carries one role's regression series maps.
+type roleSeriesWire struct {
+	Role string
+	Size map[int]*regression.Series
+	Cost map[int]*regression.Series
+}
+
+// memoEntryWire is the gob form of one solution-memo entry.
+type memoEntryWire struct {
+	Key    []float64
+	Chosen []bool
+	Exact  bool
+}
+
+// controllerWire is the complete serialized controller state.
+type controllerWire struct {
+	Name        string
+	Profiled    bool
+	CurJob      int
+	CurWindow   int
+	WinFirstJob int
+
+	// Lineage.
+	JobsSeen       int
+	Extrapolate    bool
+	Nodes          []nodeWire
+	RoleRefOffsets map[string][]int
+	RoleSeries     []roleSeriesWire
+	OrdinalSeq     map[string]map[int]int
+
+	// Windowed-lineage and optimizer state.
+	Retired     []NodeKey
+	LastChosen  []map[storage.BlockID]bool
+	TargetState map[storage.BlockID]engine.Placement
+	Memo        [][]memoEntryWire
+}
+
+// SnapshotState implements engine.StateSnapshotter: it serializes the
+// controller's durable state for a window-boundary checkpoint. Intended
+// to run in driver context at a window boundary (after AdvanceWindow),
+// where stageRefs is empty and curStageIdx is zero — those two are the
+// only fields not captured, and RestoreState resets them to exactly
+// that boundary state.
+func (b *Controller) SnapshotState() ([]byte, error) {
+	w := controllerWire{
+		Name:           b.name,
+		Profiled:       b.profiled,
+		CurJob:         b.curJob,
+		CurWindow:      b.curWindow,
+		WinFirstJob:    b.winFirstJob,
+		JobsSeen:       b.lin.jobsSeen,
+		Extrapolate:    b.lin.Extrapolate,
+		RoleRefOffsets: b.lin.roleRefOffsets,
+		OrdinalSeq:     b.lin.ordinalSeq,
+		LastChosen:     b.lastChosen,
+		TargetState:    b.targetState,
+	}
+	for _, n := range b.lin.Nodes() {
+		w.Nodes = append(w.Nodes, nodeWire{
+			Key: n.Key, Parents: n.Parents, DatasetID: n.DatasetID,
+			Parts: n.Parts, CreationJob: n.CreationJob, TouchedJob: n.TouchedJob,
+			Sizes: n.sizes, Costs: n.costs, Observed: n.observed,
+		})
+	}
+	roles := make([]string, 0, len(b.lin.roleMetrics))
+	for role := range b.lin.roleMetrics {
+		roles = append(roles, role)
+	}
+	sort.Strings(roles)
+	for _, role := range roles {
+		rm := b.lin.roleMetrics[role]
+		w.RoleSeries = append(w.RoleSeries, roleSeriesWire{Role: role, Size: rm.size, Cost: rm.cost})
+	}
+	for key := range b.retired {
+		w.Retired = append(w.Retired, key)
+	}
+	sort.Slice(w.Retired, func(i, j int) bool { return keyLess(w.Retired[i], w.Retired[j]) })
+	for _, m := range b.ilpMemo {
+		var entries []memoEntryWire
+		if m != nil {
+			for _, e := range m.entries {
+				entries = append(entries, memoEntryWire{Key: e.key, Chosen: e.chosen, Exact: e.exact})
+			}
+		}
+		w.Memo = append(w.Memo, entries)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("core: snapshot controller: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements engine.StateSnapshotter: it rehydrates the
+// controller from a SnapshotState payload. Must be called after Bind
+// (which sizes the per-executor slices) on a cluster with the same
+// executor count as the snapshotting run.
+func (b *Controller) RestoreState(data []byte) error {
+	var w controllerWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("core: restore controller: %w", err)
+	}
+	if b.c == nil {
+		return fmt.Errorf("core: restore controller: not bound to a cluster")
+	}
+	if n := len(b.c.Executors()); len(w.LastChosen) != n || len(w.Memo) != n {
+		return fmt.Errorf("core: restore controller: snapshot has %d executors, cluster has %d", len(w.LastChosen), n)
+	}
+
+	// Rebuild the lineage in place: the estimators created at Bind hold
+	// a pointer to it.
+	lin := b.lin
+	lin.nodes = make(map[NodeKey]*Node, len(w.Nodes))
+	lin.byID = make(map[int]*Node, len(w.Nodes))
+	for _, nw := range w.Nodes {
+		n := &Node{
+			Key: nw.Key, Parents: nw.Parents, DatasetID: nw.DatasetID,
+			Parts: nw.Parts, CreationJob: nw.CreationJob, TouchedJob: nw.TouchedJob,
+			sizes: nw.Sizes, costs: nw.Costs, observed: nw.Observed,
+		}
+		lin.nodes[n.Key] = n
+		if n.DatasetID >= 0 {
+			lin.byID[n.DatasetID] = n
+		}
+	}
+	lin.roleRefOffsets = w.RoleRefOffsets
+	if lin.roleRefOffsets == nil {
+		lin.roleRefOffsets = make(map[string][]int)
+	}
+	lin.roleMetrics = make(map[string]*roleMetrics, len(w.RoleSeries))
+	for _, rs := range w.RoleSeries {
+		lin.roleMetrics[rs.Role] = &roleMetrics{size: rs.Size, cost: rs.Cost}
+	}
+	lin.ordinalSeq = w.OrdinalSeq
+	if lin.ordinalSeq == nil {
+		lin.ordinalSeq = make(map[string]map[int]int)
+	}
+	lin.Extrapolate = w.Extrapolate
+	lin.jobsSeen = w.JobsSeen
+
+	b.profiled = w.Profiled
+	b.curJob = w.CurJob
+	b.curWindow = w.CurWindow
+	b.winFirstJob = w.WinFirstJob
+	b.curStageIdx = 0
+	b.stageRefs = make(map[int][]int)
+	b.retired = make(map[NodeKey]bool, len(w.Retired))
+	for _, key := range w.Retired {
+		b.retired[key] = true
+	}
+	b.lastChosen = w.LastChosen
+	for i := range b.lastChosen {
+		if b.lastChosen[i] == nil {
+			b.lastChosen[i] = make(map[storage.BlockID]bool)
+		}
+	}
+	b.targetState = w.TargetState
+	if b.targetState == nil {
+		b.targetState = make(map[storage.BlockID]engine.Placement)
+	}
+	for i, entries := range w.Memo {
+		m := &solveMemo{}
+		for _, e := range entries {
+			m.entries = append(m.entries, memoEntry{key: e.Key, chosen: e.Chosen, exact: e.Exact})
+		}
+		b.ilpMemo[i] = m
+	}
+	return nil
+}
+
+// StateSummary is the human-readable digest of a controller snapshot
+// recorded in the checkpoint manifest: the live role@iteration ids, the
+// per-executor memory assignments of the most recent solve, and the
+// number of regression observations backing the cost model.
+type StateSummary struct {
+	Roles      []string `json:"roles,omitempty"`
+	LastChosen []string `json:"last_chosen,omitempty"`
+	Samples    int      `json:"samples"`
+}
+
+// Summary builds the manifest digest for the current state.
+func (b *Controller) Summary() StateSummary {
+	var s StateSummary
+	for _, n := range b.lin.Nodes() {
+		if b.retired[n.Key] {
+			continue
+		}
+		id := fmt.Sprintf("%s@%d", n.Key.Role, n.Key.Iter)
+		if n.Key.Ordinal > 0 {
+			id = fmt.Sprintf("%s.%d", id, n.Key.Ordinal)
+		}
+		s.Roles = append(s.Roles, id)
+	}
+	for i, last := range b.lastChosen {
+		ids := make([]storage.BlockID, 0, len(last))
+		for id, chosen := range last {
+			if chosen {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(x, y int) bool {
+			if ids[x].Dataset != ids[y].Dataset {
+				return ids[x].Dataset < ids[y].Dataset
+			}
+			return ids[x].Partition < ids[y].Partition
+		})
+		for _, id := range ids {
+			s.LastChosen = append(s.LastChosen, fmt.Sprintf("e%d:%d/%d", i, id.Dataset, id.Partition))
+		}
+	}
+	b.lin.metricsMu.RLock()
+	for _, rm := range b.lin.roleMetrics {
+		for _, series := range rm.size {
+			s.Samples += series.Len()
+		}
+	}
+	b.lin.metricsMu.RUnlock()
+	return s
+}

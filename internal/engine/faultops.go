@@ -155,6 +155,16 @@ func (c *Cluster) InjectExecutorDeath(ex *Executor) bool {
 	}
 	c.emit(eventlog.Event{Kind: eventlog.PartitionsMigrated, Time: c.Now(), Job: c.curJob,
 		Executor: ex.ID, Count: migrated, Cost: rebalance})
+
+	// The death invalidated the optimizer's plan: candidates migrated,
+	// cached copies died. Controllers that can repair re-solve over the
+	// survivors now, so admissions and promotions after the death follow
+	// a plan that matches reality. Deaths are injected identically at
+	// every Parallelism setting, so the repair (and its events, emitted
+	// into the main log here — the death is part of the run) is too.
+	if pr, ok := c.ctl.(PlanRepairer); ok {
+		pr.RepairPlan(c.curWindow, c.emit)
+	}
 	return true
 }
 

@@ -3,6 +3,7 @@ package enginetest
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"blaze/internal/engine"
@@ -81,6 +82,47 @@ func NewChaosSchedule(seed int64) ChaosSchedule {
 		s.Res.BlacklistAfter = 2 + rng.Intn(4)
 		s.Res.BlacklistCooldown = 1 + rng.Intn(3)
 	}
+	return s
+}
+
+// StreamChaosSchedule is one randomized streaming crash/resume soak
+// scenario: a windowed stream that is killed by the server-crash fault
+// at each boundary in CrashWindows (a chain — every crash is resumed
+// and re-crashed at the next boundary in the list) and finally resumed
+// to completion. Like ChaosSchedule it is fully seed-derived; the
+// facade-level soak in chaos_test.go executes it, since streaming
+// sessions live above the engine.
+type StreamChaosSchedule struct {
+	Seed int64
+	// Workload indexes the registered stream workloads (facade order).
+	Workload int
+	// Windows is the stream length; CrashWindows the strictly increasing
+	// boundaries (each in [2, Windows]) to crash at, one resume per.
+	Windows      int
+	CrashWindows []int
+	Executors    int
+	// MemoryPerExecutor varies the cache pressure across schedules.
+	MemoryPerExecutor int64
+}
+
+// NewStreamChaosSchedule derives a randomized streaming crash schedule
+// from the seed: 4-6 windows, a chain of 1-2 distinct crash boundaries,
+// and a small random cluster shape.
+func NewStreamChaosSchedule(seed int64) StreamChaosSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := StreamChaosSchedule{
+		Seed:              seed,
+		Workload:          rng.Intn(2),
+		Windows:           4 + rng.Intn(3),
+		Executors:         2 + rng.Intn(3),
+		MemoryPerExecutor: 1 << (19 + rng.Intn(2)),
+	}
+	crashes := 1 + rng.Intn(2)
+	boundaries := rng.Perm(s.Windows - 1) // values 0..Windows-2 -> boundaries 2..Windows
+	for _, b := range boundaries[:crashes] {
+		s.CrashWindows = append(s.CrashWindows, b+2)
+	}
+	sort.Ints(s.CrashWindows)
 	return s
 }
 

@@ -106,6 +106,21 @@ const (
 	// candidates dropped, new-window candidates appended) warm-starts
 	// the search. Fields mirror ILPSolve; Window scopes the boundary.
 	ILPDeltaSolve Kind = "ilp_delta_solve"
+	// ILPRepairSolve records one post-recovery plan-repair solve: the
+	// placement problem re-solved over the surviving candidate set after
+	// an executor death or a crash resume. Fields mirror ILPSolve;
+	// Window scopes the boundary on streaming sessions (0 otherwise).
+	ILPRepairSolve Kind = "ilp_repair_solve"
+	// CheckpointWritten records one durable window-boundary checkpoint:
+	// Window is the boundary, Count the number of persisted blocks and
+	// Bytes their serialized size. Emitted on recovery-scoped logs only —
+	// the main log of a resumed run must stay bit-identical to an
+	// uninterrupted one.
+	CheckpointWritten Kind = "checkpoint_written"
+	// SessionResumed records a crash recovery: a session rehydrated from
+	// the checkpoint at boundary Window, re-admitting Count blocks.
+	// Recovery-scoped logs only.
+	SessionResumed Kind = "session_resumed"
 )
 
 // Event is one log record. Fields are populated according to Kind; zero
@@ -171,13 +186,33 @@ type Event struct {
 // Log is an in-memory, append-only event log.
 type Log struct {
 	events []Event
+	// sink, when set, receives every appended event (write-ahead
+	// logging: the facade attaches a WAL so the stream survives a crash).
+	sink func(Event)
 }
 
 // New creates an empty log.
 func New() *Log { return &Log{} }
 
 // Append adds an event.
-func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+func (l *Log) Append(e Event) {
+	l.events = append(l.events, e)
+	if l.sink != nil {
+		l.sink(e)
+	}
+}
+
+// SetSink installs (or, with nil, detaches) a callback invoked on every
+// subsequent Append. Used to tee the log into a durable WAL.
+func (l *Log) SetSink(fn func(Event)) { l.sink = fn }
+
+// Restore replaces the log's contents wholesale. Crash recovery uses it
+// to clobber whatever a resuming session's replay emitted with the
+// exact event stream of the original run up to the checkpoint. The
+// sink, if any, is not invoked for restored events.
+func (l *Log) Restore(events []Event) {
+	l.events = append(l.events[:0], events...)
+}
 
 // Events returns the recorded events in order.
 func (l *Log) Events() []Event { return l.events }

@@ -1,0 +1,100 @@
+package eventlog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func walEvents(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{Kind: JobStart, Time: time.Duration(i) * time.Millisecond, Job: i}
+	}
+	return evs
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.wal")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := walEvents(5)
+	if err := w.AppendAll(evs[:3]); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs[3:] {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+// TestWALTornTail pins the crash-tolerance contract: a WAL whose final
+// record was interrupted mid-write (unterminated or malformed) replays
+// the clean prefix and silently drops the torn record.
+func TestWALTornTail(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tail string
+	}{
+		{"unterminated", `{"kind":"job_start","job":9`},
+		{"malformed", "garbage bytes here\n"},
+		{"half-overwritten", `{"kind":{"kind":"x"}}` + "\n"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "events.wal")
+			w, err := CreateWAL(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evs := walEvents(4)
+			if err := w.AppendAll(evs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			got, err := ReplayWAL(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(evs) {
+				t.Fatalf("replayed %d events, want the %d-event clean prefix", len(got), len(evs))
+			}
+		})
+	}
+}
+
+func TestWALReplayMissingFile(t *testing.T) {
+	if _, err := ReplayWAL(filepath.Join(t.TempDir(), "absent.wal")); err == nil {
+		t.Fatal("replaying a missing WAL should fail")
+	}
+}

@@ -45,6 +45,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -81,7 +82,22 @@ const (
 	// run at a configurable slowdown multiplier, triggering speculative
 	// execution when the scheduler has it enabled.
 	Straggler
+	// ServerCrash kills the whole session process deterministically at a
+	// configured window boundary (Config.CrashWindow), immediately after
+	// the boundary's checkpoint has been written. It models a driver or
+	// job-server crash rather than a cluster-internal loss, so it is
+	// excluded from AllClasses and from the Injector's draw pools: the
+	// crash is scheduled, not drawn, and recovery goes through checkpoint
+	// resume (blaze.ResumeSession) rather than lineage recomputation.
+	ServerCrash
 )
+
+// ErrServerCrash is the panic sentinel a scheduled server-crash fault
+// unwinds with. The job server recovers it at the session boundary and
+// records the session as crashed; everything the session had admitted is
+// purged and its tenant quota released, exactly as for a real process
+// death observed by a supervisor.
+var ErrServerCrash = errors.New("faults: server crash injected")
 
 // String names the fault class.
 func (c Class) String() string {
@@ -102,6 +118,8 @@ func (c Class) String() string {
 		return "fetch-flake"
 	case Straggler:
 		return "straggler"
+	case ServerCrash:
+		return "server-crash"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -170,6 +188,8 @@ func ParseClasses(spec string) ([]Class, error) {
 			add(FetchFlake)
 		case "straggler":
 			add(Straggler)
+		case "server-crash":
+			add(ServerCrash)
 		default:
 			return nil, fmt.Errorf("faults: unknown fault class %q (want exec, block, shuffle, exec-death, bucket, task-flake, fetch-flake, straggler, permanent, transient or all)", strings.TrimSpace(f))
 		}
@@ -220,6 +240,12 @@ type Config struct {
 	// StragglerWindow is the number of task executions a straggler
 	// window spans (default 3).
 	StragglerWindow int
+	// CrashWindow schedules a ServerCrash fault at the given 1-based
+	// window boundary of a streaming session: the checkpointer panics
+	// with ErrServerCrash immediately after persisting that boundary's
+	// checkpoint. 0 disables; boundaries start at 2 (window 1 opens
+	// before any checkpoint exists).
+	CrashWindow int
 }
 
 // String renders the schedule as a stable key=value summary. The classes
@@ -252,6 +278,9 @@ func (cfg Config) String() string {
 	if cfg.StragglerWindow != 0 {
 		parts = append(parts, fmt.Sprintf("straggler-window=%d", cfg.StragglerWindow))
 	}
+	if cfg.CrashWindow != 0 {
+		parts = append(parts, fmt.Sprintf("crash-window=%d", cfg.CrashWindow))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -274,12 +303,25 @@ func (cfg Config) Validate() error {
 	if cfg.StragglerWindow < 0 {
 		return fmt.Errorf("faults: StragglerWindow must be >= 0 (0 means default 3), got %d", cfg.StragglerWindow)
 	}
+	if cfg.CrashWindow != 0 && cfg.CrashWindow < 2 {
+		return fmt.Errorf("faults: CrashWindow must be 0 (off) or >= 2 (window 1 opens before any checkpoint exists), got %d", cfg.CrashWindow)
+	}
 	for _, cl := range cfg.Classes {
-		if cl < ExecutorCacheLoss || cl > Straggler {
+		if cl < ExecutorCacheLoss || cl > ServerCrash {
 			return fmt.Errorf("faults: unknown fault class %d", int(cl))
 		}
 	}
 	return nil
+}
+
+// HasClass reports whether the schedule includes the class.
+func (cfg Config) HasClass(c Class) bool {
+	for _, cl := range cfg.Classes {
+		if cl == c {
+			return true
+		}
+	}
+	return false
 }
 
 // Injector injects faults at cluster boundaries (permanent classes) and
@@ -346,6 +388,9 @@ func New(cfg Config) *Injector {
 			in.taskClasses = append(in.taskClasses, cl)
 		case FetchFlake:
 			in.fetchFlake = true
+		case ServerCrash:
+			// Scheduled (CrashWindow), never drawn: adding it to a pool
+			// would shift the permanent draw sequence of existing seeds.
 		default:
 			in.perm = append(in.perm, cl)
 		}

@@ -209,6 +209,19 @@ type App struct {
 	ILPDeltaSolveTime time.Duration
 	ILPColdSolveTime  time.Duration
 
+	// RepairSolves, RepairNodes and RepairMismatches record post-recovery
+	// plan repair: placement re-solves over the surviving candidate set
+	// after an executor death or a crash resume, their search effort, and
+	// disagreements with the from-scratch verification solve (expected to
+	// stay zero). RepairSolveTime is the wall-clock time those solves
+	// took. All four are excluded by EqualDeterministic: a resumed run
+	// repairs once where an uninterrupted run repairs zero times, yet the
+	// two must otherwise compare equal.
+	RepairSolves     int
+	RepairNodes      int
+	RepairMismatches int
+	RepairSolveTime  time.Duration
+
 	// ProfilingTime is the virtual time spent in Blaze's dependency
 	// extraction phase, included in the ACT per §7.2.
 	ProfilingTime time.Duration
@@ -429,12 +442,41 @@ func EqualDeterministic(a, b *App) bool {
 	at, bt := a.ILPSolveTime, b.ILPSolveTime
 	adt, bdt := a.ILPDeltaSolveTime, b.ILPDeltaSolveTime
 	act, bct := a.ILPColdSolveTime, b.ILPColdSolveTime
+	ars, brs := a.RepairSolves, b.RepairSolves
+	arn, brn := a.RepairNodes, b.RepairNodes
+	arm, brm := a.RepairMismatches, b.RepairMismatches
+	art, brt := a.RepairSolveTime, b.RepairSolveTime
 	a.ILPSolveTime, b.ILPSolveTime = 0, 0
 	a.ILPDeltaSolveTime, b.ILPDeltaSolveTime = 0, 0
 	a.ILPColdSolveTime, b.ILPColdSolveTime = 0, 0
+	a.RepairSolves, b.RepairSolves = 0, 0
+	a.RepairNodes, b.RepairNodes = 0, 0
+	a.RepairMismatches, b.RepairMismatches = 0, 0
+	a.RepairSolveTime, b.RepairSolveTime = 0, 0
 	eq := reflect.DeepEqual(a, b)
 	a.ILPSolveTime, b.ILPSolveTime = at, bt
 	a.ILPDeltaSolveTime, b.ILPDeltaSolveTime = adt, bdt
 	a.ILPColdSolveTime, b.ILPColdSolveTime = act, bct
+	a.RepairSolves, b.RepairSolves = ars, brs
+	a.RepairNodes, b.RepairNodes = arn, brn
+	a.RepairMismatches, b.RepairMismatches = arm, brm
+	a.RepairSolveTime, b.RepairSolveTime = art, brt
 	return eq
+}
+
+// CopyFrom overwrites every exported field of a with o's value, leaving
+// the internal mutex alone (App contains a lock, so a plain struct copy
+// would trip the copylocks vet check). Crash recovery uses it to restore
+// a checkpointed metrics snapshot into a live cluster's App. Both sides
+// must be quiescent.
+func (a *App) CopyFrom(o *App) {
+	av := reflect.ValueOf(a).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	t := av.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if !t.Field(i).IsExported() {
+			continue
+		}
+		av.Field(i).Set(ov.Field(i))
+	}
 }

@@ -7,6 +7,8 @@
 package regression
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"math"
 )
@@ -106,4 +108,33 @@ func (s *Series) Last() (float64, bool) {
 		return 0, false
 	}
 	return s.ys[len(s.ys)-1], true
+}
+
+// seriesWire is the gob wire form of a Series: only the raw observations
+// travel; the fit is recomputed lazily on the restored side.
+type seriesWire struct {
+	Xs, Ys []float64
+}
+
+// GobEncode serializes the observations (checkpoint support). The cached
+// model is not encoded — Predict refits from the observations.
+func (s *Series) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(seriesWire{Xs: s.xs, Ys: s.ys}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores the observations and marks the fit stale so the
+// next Predict recomputes it.
+func (s *Series) GobDecode(data []byte) error {
+	var w seriesWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.xs, s.ys = w.Xs, w.Ys
+	s.model = Linear{}
+	s.dirty = len(s.xs) > 0
+	return nil
 }

@@ -23,6 +23,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -34,6 +35,7 @@ import (
 	"blaze/internal/dataflow"
 	"blaze/internal/engine"
 	"blaze/internal/eventlog"
+	"blaze/internal/faults"
 	"blaze/internal/metrics"
 	"blaze/internal/storage"
 )
@@ -582,6 +584,51 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Shutdown stops admission like Close, then drains gracefully: it waits
+// for the active sessions to finish until ctx expires, and past the
+// deadline cancels every remaining session and waits for those to
+// unwind at their next job boundary. Returns nil when the drain
+// completed in time, ctx.Err() when sessions had to be cancelled.
+// Streaming sessions idle between windows are not reachable by
+// cancellation (jobs are the atomic unit); their clients must Close
+// them for the drain to complete.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, t := range s.tenants {
+			for _, sess := range t.queue {
+				sess.cancelled = true
+				sess.err = ErrCancelled
+				t.cancelled++
+				close(sess.done)
+			}
+			t.queue = nil
+		}
+		s.pending = 0
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, sess := range s.byCluster {
+		sess.cancelled = true
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-drained
+	return ctx.Err()
+}
+
 // Session is one admitted application.
 type Session struct {
 	srv    *Server
@@ -705,6 +752,17 @@ func (sess *Session) run() {
 			if r := recover(); r != nil {
 				if err, ok := r.(error); ok && errors.Is(err, ErrCancelled) {
 					sess.err = ErrCancelled
+					return
+				}
+				if err, ok := r.(error); ok && errors.Is(err, faults.ErrServerCrash) {
+					// An injected server crash killed the session
+					// mid-stream. The session dies with this error — and
+					// falls through the normal teardown below, so its
+					// blocks leave the shared cache and every byte the
+					// quota ledger charged it is released, exactly like a
+					// completed session. Recovery is the client's move:
+					// resume from the checkpoint directory.
+					sess.err = err
 					return
 				}
 				panic(r)

@@ -1,0 +1,154 @@
+package storage
+
+// Checkpoint-restore entry points: a resumed session re-inserts its
+// checkpointed blocks with the exact metadata (access stats, insert
+// sequence, stamped recovery cost) of the crashed run, then pins the
+// internal counters (insert sequence, peaks, cumulative writes) so
+// later behavior — FIFO ordering, peak reporting — is bit-identical to
+// a run that never crashed. Restored admissions still pass through the
+// quota controller: re-admitting a tenant's surviving blocks is what
+// re-balances the ledger after the crash zeroed it.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"blaze/internal/dataflow"
+)
+
+// Restore inserts a checkpointed block with its original metadata. The
+// store must not already hold the block; capacity and tenant quota are
+// enforced exactly as at first admission.
+func (m *MemoryStore) Restore(meta BlockMeta, recs []dataflow.Record) error {
+	id := meta.ID
+	if _, exists := m.blocks[id]; exists {
+		return fmt.Errorf("storage: restore: block %v already in memory", id)
+	}
+	if meta.Size > m.Free() {
+		return fmt.Errorf("storage: restore: block %v (%d bytes) exceeds free memory (%d bytes)", id, meta.Size, m.Free())
+	}
+	if m.quota != nil && !m.quota.Admit(id, meta.Size) {
+		return fmt.Errorf("storage: restore: block %v (%d bytes) exceeds tenant %q memory quota", id, meta.Size, m.quota.Owner(id))
+	}
+	var data []byte
+	if m.real {
+		start := time.Now()
+		d, err := EncodeRecords(recs)
+		if err != nil {
+			if m.quota != nil {
+				m.quota.Release(id, meta.Size)
+			}
+			return fmt.Errorf("storage: restore: block %v failed to encode: %w", id, err)
+		}
+		m.meter.addMeasured(MemEncode, int64(len(d)), time.Since(start))
+		data = d
+		recs = nil
+	}
+	mc := meta
+	m.blocks[id] = &memEntry{records: recs, data: data, meta: &mc}
+	m.used += meta.Size
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return nil
+}
+
+// Records returns a block's records without touching its access
+// statistics — checkpoint capture must not perturb the LRU/LFU state it
+// is snapshotting. Real-mode entries decode outside the decode cache so
+// the cache's contents (and its measured hit counters) stay untouched.
+func (m *MemoryStore) Records(id BlockID) ([]dataflow.Record, bool) {
+	e, ok := m.blocks[id]
+	if !ok {
+		return nil, false
+	}
+	if !m.real {
+		return e.records, true
+	}
+	recs, err := DecodeRecords(e.data)
+	if err != nil {
+		return nil, false
+	}
+	return recs, true
+}
+
+// Counters returns the store's insert sequence and peak usage for a
+// checkpoint.
+func (m *MemoryStore) Counters() (seq, peak int64) { return m.seq, m.peak }
+
+// SetCounters pins the insert sequence and peak usage from a
+// checkpoint, after all blocks have been Restored.
+func (m *MemoryStore) SetCounters(seq, peak int64) {
+	m.seq = seq
+	if peak > m.peak {
+		m.peak = peak
+	}
+}
+
+// Restore inserts a checkpointed block with its original accounted
+// size, without counting it toward TotalWritten (the crashed run
+// already wrote it; SetCounters reinstates the cumulative figure).
+func (d *DiskStore) Restore(id BlockID, recs []dataflow.Record, size int64) error {
+	if _, exists := d.blocks[id]; exists {
+		return fmt.Errorf("storage: restore: block %v already on disk", id)
+	}
+	e := diskEntry{size: size}
+	if d.real {
+		start := time.Now()
+		data, err := EncodeRecords(recs)
+		if err != nil {
+			return fmt.Errorf("storage: restore: block %v failed to encode: %w", id, err)
+		}
+		if err := os.WriteFile(d.path(id), data, 0o644); err != nil {
+			return fmt.Errorf("storage: restore: block %v: %w", id, err)
+		}
+		d.meter.addMeasured(DiskWrite, int64(len(data)), time.Since(start))
+		d.meter.addFile(int64(len(data)))
+		e.fileBytes = int64(len(data))
+	} else {
+		e.records = recs
+	}
+	d.blocks[id] = e
+	d.current += e.size
+	if d.current > d.peak {
+		d.peak = d.current
+	}
+	return nil
+}
+
+// Records returns a disk block's records without any metering — the
+// checkpoint-capture counterpart of Get.
+func (d *DiskStore) Records(id BlockID) ([]dataflow.Record, bool) {
+	e, ok := d.blocks[id]
+	if !ok {
+		return nil, false
+	}
+	if !d.real {
+		return e.records, true
+	}
+	data, err := os.ReadFile(d.path(id))
+	if err != nil {
+		return nil, false
+	}
+	recs, err := DecodeRecords(data)
+	if err != nil {
+		return nil, false
+	}
+	return recs, true
+}
+
+// Counters returns the disk store's peak footprint and cumulative
+// written bytes for a checkpoint.
+func (d *DiskStore) Counters() (peak, totalWritten int64) { return d.peak, d.totalWritten }
+
+// SetCounters pins the peak footprint and cumulative written bytes from
+// a checkpoint, after all blocks have been Restored.
+func (d *DiskStore) SetCounters(peak, totalWritten int64) {
+	if peak > d.peak {
+		d.peak = peak
+	}
+	if totalWritten > d.totalWritten {
+		d.totalWritten = totalWritten
+	}
+}

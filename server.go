@@ -226,6 +226,15 @@ func (s *Server) Stats() ServerStats { return s.srv.Stats() }
 // waits for running jobs to drain.
 func (s *Server) Close() { s.srv.Close() }
 
+// Shutdown is graceful Close with a deadline: admission stops and
+// queued jobs are cancelled immediately, then running jobs get until
+// ctx expires to drain. Past the deadline they are cancelled too —
+// effective at their next job boundary — and Shutdown returns ctx.Err()
+// after the forced drain completes (nil when everything drained in
+// time). Streaming sessions idle between windows are not reachable by
+// cancellation; their clients must close them for the drain to finish.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
 // JobHandle is one submitted application.
 type JobHandle struct {
 	sess     *server.Session

@@ -11,13 +11,18 @@ package blaze
 // re-solve from scratch every window.
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
+	"blaze/internal/checkpoint"
 	"blaze/internal/core"
 	"blaze/internal/dataflow"
 	"blaze/internal/engine"
+	"blaze/internal/eventlog"
 	"blaze/internal/metrics"
 	"blaze/internal/server"
 )
@@ -61,6 +66,25 @@ type SessionConfig struct {
 	// meaningful for the Blaze systems; used by tests and blazebench to
 	// hold the delta-equals-cold invariant.
 	ColdSolveVerify bool
+	// CheckpointDir, when set, makes the session durable: every window
+	// boundary past the first commits a recovery snapshot (carried-state
+	// blocks, controller state, window stats) under this directory, and
+	// the event log is teed into an append-only WAL there. A session
+	// killed mid-stream resumes from the newest snapshot with
+	// ResumeSession, producing bit-identical window results and event
+	// logs to a run that never crashed.
+	CheckpointDir string
+	// CrashWindow, when >= 2, injects the server-crash fault: the session
+	// dies (methods return ErrSessionCrashed) at that window's boundary,
+	// immediately after its checkpoint commits. Requires CheckpointDir.
+	// Resuming does not re-crash: the crashed boundary replays instead of
+	// running live, so the trigger never re-fires.
+	CrashWindow int
+	// RecoveryLog, when non-nil, receives the recovery-scoped events —
+	// checkpoint_written, session_resumed and the post-resume
+	// ilp_repair_solve records — which must stay out of EventLog to keep
+	// a resumed run's main log bit-identical to an uninterrupted one.
+	RecoveryLog *EventLog
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -92,6 +116,14 @@ func (c SessionConfig) Validate() error {
 	}
 	if c.ILPWindow < ILPWindowCurrentJobOnly {
 		return fmt.Errorf("blaze: ILPWindow must be >= %d (ILPWindowCurrentJobOnly), got %d", ILPWindowCurrentJobOnly, c.ILPWindow)
+	}
+	if c.CrashWindow != 0 {
+		if c.CheckpointDir == "" {
+			return errors.New("blaze: CrashWindow requires CheckpointDir (a crash without checkpoints has nothing to resume from)")
+		}
+		if c.CrashWindow < 2 {
+			return fmt.Errorf("blaze: CrashWindow must be >= 2 (window 1 has no boundary checkpoint to crash after), got %d", c.CrashWindow)
+		}
 	}
 	if err := validateSystem(c.System); err != nil {
 		return err
@@ -164,6 +196,38 @@ func (cur cumSnap) diff(prev cumSnap, window int) WindowStats {
 	}
 }
 
+// CheckpointStat records one committed window-boundary checkpoint:
+// which boundary, how many carried-state blocks it persisted, their
+// serialized size and the wall-clock commit time (the checkpoint
+// overhead blazebench -recovery reports).
+type CheckpointStat struct {
+	Window int
+	Blocks int
+	Bytes  int64
+	Wall   time.Duration
+}
+
+// sessionClientState is the driver-side payload persisted inside each
+// checkpoint: the per-window stats captured so far and the cumulative
+// snapshot they are diffed against. cumSnap's fields are unexported, so
+// the snapshot travels as an absolute-valued WindowStats (Window 0).
+type sessionClientState struct {
+	Window  int
+	Prev    WindowStats
+	Windows []WindowStats
+}
+
+// snapOf inverts cumSnap.diff(cumSnap{}, 0): it rebuilds the cumulative
+// snapshot from its absolute-valued WindowStats wire form.
+func snapOf(w WindowStats) cumSnap {
+	return cumSnap{
+		memHits: w.MemHits, diskHits: w.DiskHits, misses: w.Misses, evictions: w.Evictions,
+		retired: w.PartitionsRetired, deltaSolves: w.ILPDeltaSolves, deltaNodes: w.ILPDeltaNodes,
+		coldSolves: w.ILPColdSolves, coldNodes: w.ILPColdNodes, coldMismatches: w.ILPColdMismatches,
+		deltaTime: w.ILPDeltaSolveTime, coldTime: w.ILPColdSolveTime,
+	}
+}
+
 // Session is a micro-batch streaming run. Create one with NewSession,
 // submit each window's DAG with Submit, advance with NextWindow, and
 // collect the final Result with Close. Methods must be called from one
@@ -177,6 +241,16 @@ type Session struct {
 	prev      cumSnap
 	windows   []WindowStats
 	closed    bool
+
+	// Durability state (CheckpointDir sessions only).
+	wal         *eventlog.WAL
+	checkpoints []CheckpointStat
+	// Resume state: while resuming, the driver replays windows
+	// 1..resumeWindow-1 without executing; restored carries the crashed
+	// run's window stats, applied when replay reaches resumeWindow.
+	resuming     bool
+	resumeWindow int
+	restored     *sessionClientState
 }
 
 // NewSession builds the private cluster and opens window 1.
@@ -213,7 +287,173 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		srv.Close()
 		return nil, err
 	}
-	return &Session{cfg: cfg, annotated: sys.annotated, srv: srv, st: st, window: 1}, nil
+	s := &Session{cfg: cfg, annotated: sys.annotated, srv: srv, st: st, window: 1}
+	if cfg.CheckpointDir != "" {
+		if err := s.enableDurability(sys.ctl, nil); err != nil {
+			st.Close()
+			srv.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ErrNoCheckpoint is returned by ResumeSession and ResumeStream when the
+// checkpoint directory holds no usable snapshot (never checkpointed, or
+// every snapshot is corrupt). The caller recovers by running from
+// scratch instead — lineage recomputation from the sources.
+var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+
+// ResumeSession rebuilds a crashed durable session from the newest
+// usable checkpoint under cfg.CheckpointDir. The caller must re-run the
+// same driver program from window 1: submitted windows before the
+// checkpointed boundary replay without executing (jobs return empty
+// results instantly), and when NextWindow reaches that boundary the
+// cluster rehydrates in place — carried-state blocks re-admitted
+// through the stores, controller state, metrics and the main event log
+// restored exactly — and execution goes live. The resumed run's window
+// results, metrics and event log are bit-identical to a run that never
+// crashed; resume bookkeeping (session_resumed, plan-repair solves)
+// goes to cfg.RecoveryLog. cfg must match the crashed session's.
+func ResumeSession(cfg SessionConfig) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointDir == "" {
+		return nil, errors.New("blaze: ResumeSession requires CheckpointDir")
+	}
+	rs, clientBytes, err := checkpoint.Load(cfg.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	var restored *sessionClientState
+	if clientBytes != nil {
+		restored = &sessionClientState{}
+		if err := gob.NewDecoder(bytes.NewReader(clientBytes)).Decode(restored); err != nil {
+			return nil, fmt.Errorf("blaze: decode checkpoint client state: %w", err)
+		}
+	}
+	sys, err := buildStreamSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	params := EvalParams(1.0)
+	if !cfg.CostParams.IsZero() {
+		params = cfg.CostParams
+	}
+	srv, err := server.New(server.Config{
+		Executors:         cfg.Executors,
+		CoresPerExecutor:  cfg.Cores,
+		MemoryPerExecutor: cfg.MemoryPerExecutor,
+		Parallelism:       cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := srv.SubmitStream(server.JobSpec{
+		Controller:  sys.ctl,
+		Params:      params,
+		AlluxioMode: sys.alluxio,
+		EventLog:    cfg.EventLog,
+		Parallelism: cfg.Parallelism,
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	s := &Session{
+		cfg: cfg, annotated: sys.annotated, srv: srv, st: st, window: 1,
+		resuming: true, resumeWindow: rs.Window, restored: restored,
+	}
+	if err := s.enableDurability(sys.ctl, rs); err != nil {
+		st.Close()
+		srv.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// enableDurability attaches the checkpointer and the event WAL to the
+// session's cluster, and — when resuming — engages replay mode. It runs
+// the attachment in driver context so nothing races the stream loop's
+// live window-1 open (whose events, on resume, are clobbered at
+// rehydrate and never reach the rewritten WAL).
+func (s *Session) enableDurability(ctl engine.Controller, rs *engine.ResumeState) error {
+	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+		return fmt.Errorf("blaze: checkpoint dir: %w", err)
+	}
+	cp := &checkpoint.Checkpointer{
+		Dir:         s.cfg.CheckpointDir,
+		CrashWindow: s.cfg.CrashWindow,
+		ClientState: s.clientState,
+		Log:         s.cfg.RecoveryLog,
+		OnWrite: func(window, blocks int, bytes int64, d time.Duration) {
+			s.checkpoints = append(s.checkpoints, CheckpointStat{Window: window, Blocks: blocks, Bytes: bytes, Wall: d})
+		},
+	}
+	if cs, ok := ctl.(interface{ Summary() core.StateSummary }); ok {
+		cp.Summary = func() any { return cs.Summary() }
+	}
+	var setupErr error
+	doErr := s.st.Do(func(ctx *dataflow.Context) {
+		wal, err := eventlog.CreateWAL(checkpoint.WALPath(s.cfg.CheckpointDir))
+		if err != nil {
+			setupErr = err
+			return
+		}
+		// Seed the WAL with the history so far: a fresh session's events
+		// (the window-1 open boundary), or — on resume — the crashed
+		// run's exact event prefix, replacing the old WAL wholesale.
+		var seed []eventlog.Event
+		if rs != nil {
+			seed = rs.Events
+		} else if s.cfg.EventLog != nil {
+			seed = s.cfg.EventLog.Events()
+		}
+		if err := wal.AppendAll(seed); err != nil {
+			wal.Close()
+			setupErr = err
+			return
+		}
+		s.wal = wal
+		if s.cfg.EventLog != nil {
+			s.cfg.EventLog.SetSink(func(e eventlog.Event) {
+				if err := wal.Append(e); err != nil {
+					// A WAL that silently stops persisting would turn the
+					// next crash into event-history loss; broken durability
+					// is fatal to the session, like a failed checkpoint.
+					panic(fmt.Sprintf("blaze: event wal append: %v", err))
+				}
+			})
+		}
+		cl, ok := ctx.Runner().(*engine.Cluster)
+		if !ok {
+			setupErr = errors.New("blaze: session runner is not an engine cluster")
+			return
+		}
+		cl.SetWindowCheckpointer(cp)
+		if rs != nil {
+			cl.BeginReplay(rs, s.cfg.RecoveryLog)
+		}
+	})
+	if doErr != nil {
+		return doErr
+	}
+	return setupErr
+}
+
+// clientState serializes the facade's window bookkeeping for the
+// checkpoint's client payload. The checkpointer calls it on the driver
+// goroutine during a boundary, while the client goroutine is blocked
+// inside NextWindow — the fields are stable.
+func (s *Session) clientState() ([]byte, error) {
+	st := sessionClientState{Window: s.window, Prev: s.prev.diff(cumSnap{}, 0), Windows: s.windows}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // buildStreamSystem is buildSystem for sessions: the Blaze-family
@@ -283,23 +523,54 @@ func (s *Session) NextWindow() (int, error) {
 		return 0, err
 	}
 	s.window = w
+	if s.resuming && w >= s.resumeWindow {
+		// The engine rehydrated inside that NextWindow. Apply the
+		// restored driver-side bookkeeping: the crashed run's window
+		// stats and the cumulative snapshot the next capture diffs
+		// against.
+		s.resuming = false
+		if s.restored != nil {
+			s.windows = append(s.windows[:0], s.restored.Windows...)
+			s.prev = snapOf(s.restored.Prev)
+			s.restored = nil
+		}
+	}
 	return w, nil
 }
 
-// capture appends the closing window's stats delta.
+// capture appends the closing window's stats delta. Replayed windows of
+// a resuming session are skipped: their stats were captured by the
+// crashed run and are restored wholesale at the rehydrate boundary.
 func (s *Session) capture() error {
 	var cur cumSnap
+	replaying := false
 	err := s.st.Do(func(ctx *dataflow.Context) {
 		if cl, ok := ctx.Runner().(*engine.Cluster); ok {
+			if cl.Replaying() {
+				replaying = true
+				return
+			}
 			cur = snapFrom(cl.Metrics())
 		}
 	})
 	if err != nil {
 		return err
 	}
+	if replaying {
+		return nil
+	}
 	s.windows = append(s.windows, cur.diff(s.prev, s.window))
 	s.prev = cur
 	return nil
+}
+
+// CheckpointStats returns the checkpoints this process committed, in
+// boundary order (a resumed session reports only its own post-resume
+// checkpoints, not the crashed run's).
+func (s *Session) CheckpointStats() []CheckpointStat {
+	out := make([]CheckpointStat, len(s.checkpoints))
+	copy(out, s.checkpoints)
+	return out
 }
 
 // WindowStats returns the per-window metric deltas captured so far (one
@@ -320,6 +591,14 @@ func (s *Session) Close() (*Result, error) {
 	s.closed = true
 	captureErr := s.capture()
 	err := s.st.Close()
+	if s.wal != nil {
+		// The driver loop has exited, so nothing appends concurrently.
+		if s.cfg.EventLog != nil {
+			s.cfg.EventLog.SetSink(nil)
+		}
+		s.wal.Close()
+		s.wal = nil
+	}
 	s.srv.Close()
 	if err != nil {
 		return nil, err

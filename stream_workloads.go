@@ -151,6 +151,13 @@ type StreamConfig struct {
 	ILPWindow         int
 	EventLog          *EventLog
 	ColdSolveVerify   bool
+	// CheckpointDir, CrashWindow and RecoveryLog configure durability
+	// and crash injection, as in SessionConfig. A run killed by
+	// CrashWindow returns ErrSessionCrashed; ResumeStream with the same
+	// config continues it from the checkpoint.
+	CheckpointDir string
+	CrashWindow   int
+	RecoveryLog   *EventLog
 	// Workload names the streaming workload; Windows is how many
 	// micro-batch windows to run (default 4); Scale shrinks the
 	// per-window input (default 1.0).
@@ -160,10 +167,12 @@ type StreamConfig struct {
 }
 
 // StreamResult is a streaming run's outcome: the sealed Result plus the
-// per-window metric deltas.
+// per-window metric deltas and, for durable runs, the checkpoints this
+// process committed.
 type StreamResult struct {
 	Result
-	Windows []WindowStats
+	Windows     []WindowStats
+	Checkpoints []CheckpointStat
 }
 
 // RunStream executes a streaming workload through a Session: Windows
@@ -171,6 +180,25 @@ type StreamResult struct {
 // NextWindow boundaries. The cost model defaults to
 // EvalParams(spec.SerFactor), as Run does for batch workloads.
 func RunStream(cfg StreamConfig) (*StreamResult, error) {
+	return runStream(cfg, NewSession)
+}
+
+// ResumeStream continues a crashed durable streaming run from its
+// newest checkpoint: it rebuilds the session with ResumeSession and
+// re-runs the identical window loop from window 1 — pre-checkpoint
+// windows replay without executing, and the stream goes live at the
+// checkpointed boundary. The StreamResult is bit-identical (per
+// WindowStats.EqualDeterministic and the event log) to a run that never
+// crashed. cfg must match the crashed run's configuration.
+func ResumeStream(cfg StreamConfig) (*StreamResult, error) {
+	return runStream(cfg, ResumeSession)
+}
+
+// runStream is the shared harness loop: open resolves the session
+// (fresh or resumed), then every window submits the workload step and
+// advances. Resume re-running the same loop is what makes replay work —
+// the driver program is identical, only the execution mode differs.
+func runStream(cfg StreamConfig, open func(SessionConfig) (*Session, error)) (*StreamResult, error) {
 	spec, err := StreamWorkload(cfg.Workload)
 	if err != nil {
 		return nil, err
@@ -190,7 +218,7 @@ func RunStream(cfg StreamConfig) (*StreamResult, error) {
 	if params.IsZero() {
 		params = EvalParams(spec.SerFactor)
 	}
-	sess, err := NewSession(SessionConfig{
+	sess, err := open(SessionConfig{
 		System:            cfg.System,
 		Executors:         cfg.Executors,
 		Cores:             cfg.Cores,
@@ -201,6 +229,9 @@ func RunStream(cfg StreamConfig) (*StreamResult, error) {
 		ILPWindow:         cfg.ILPWindow,
 		EventLog:          cfg.EventLog,
 		ColdSolveVerify:   cfg.ColdSolveVerify,
+		CheckpointDir:     cfg.CheckpointDir,
+		CrashWindow:       cfg.CrashWindow,
+		RecoveryLog:       cfg.RecoveryLog,
 	})
 	if err != nil {
 		return nil, err
@@ -223,5 +254,9 @@ func RunStream(cfg StreamConfig) (*StreamResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &StreamResult{Result: *res, Windows: sess.WindowStats()}, nil
+	return &StreamResult{
+		Result:      *res,
+		Windows:     sess.WindowStats(),
+		Checkpoints: sess.CheckpointStats(),
+	}, nil
 }
