@@ -15,6 +15,7 @@ import (
 	"blaze/internal/costmodel"
 	"blaze/internal/dataflow"
 	"blaze/internal/datagen"
+	"blaze/internal/engine"
 	"blaze/internal/ilp"
 	"blaze/internal/metrics"
 	"blaze/internal/storage"
@@ -180,6 +181,13 @@ func NewContext() *Context { return dataflow.NewContext() }
 
 // HashPartition returns the partition a key hashes to.
 func HashPartition(key int64, parts int) int { return dataflow.HashPartition(key, parts) }
+
+// VecTasksExecuted returns the process-wide count of tasks that ran on
+// the vectorized (columnar) task loop. A Vectorized run's metrics and
+// events are bit-identical to the row loop's by design, so this counter
+// is the only way for tests and benchmarks to confirm the columnar path
+// actually engaged.
+func VecTasksExecuted() int64 { return engine.VecTasksExecuted() }
 
 // ZipDatasets combines two co-partitioned datasets partition-wise with
 // a narrow dependency on both (Spark's zipPartitions).

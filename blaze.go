@@ -147,6 +147,13 @@ type RunConfig struct {
 	// are bit-identical to a default-mode run; the measurements land in
 	// Result.Storage for modeled-vs-measured comparison.
 	RealBytes bool
+	// Vectorized runs eligible stages on the engine's columnar task
+	// loop: typed batches and pooled buffers instead of per-record
+	// boxing, for real wall-clock throughput (see blazebench
+	// -throughput). Like Parallelism, it changes only wall-clock time:
+	// virtual-time metrics and the event log are bit-identical with the
+	// flag on or off.
+	Vectorized bool
 }
 
 // ILP window sentinels for RunConfig.ILPWindow and JobSpec.ILPWindow.
@@ -437,6 +444,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		Hook:              hook,
 		Resilience:        cfg.Resilience,
 		Parallelism:       cfg.Parallelism,
+		Vectorized:        cfg.Vectorized,
 	})
 	if err != nil {
 		return nil, err
@@ -467,6 +475,7 @@ func runDirect(cfg RunConfig, spec WorkloadSpec, params costmodel.Params, mem in
 		Hook:              hook,
 		Resilience:        cfg.Resilience,
 		RealBytes:         cfg.RealBytes,
+		Vectorized:        cfg.Vectorized,
 	}, ctx)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,355 @@
+package harness
+
+// RunThroughputBench backs blazebench -throughput: the columnar hot-path benchmark. It pumps
+// workload-shaped partitions through the per-task data plane — operator
+// kernel, shuffle route, map-side combine — on the row loop and on the
+// batched loop, at 1 and 8 worker goroutines, and reports records/s and
+// allocations per record for each. It then re-runs the full engine row
+// vs. vectorized and asserts virtual-time metrics and event logs are
+// byte-equal at Parallelism 1 and 8, so the speedup numbers are backed
+// by a bit-identity proof in the same report (BENCH_throughput.json).
+//
+// Shapes: PageRank partitions are 4096 vertices of out-degree 8 routed
+// to 8 reducers; k-means windows are 4096 2-D points assigned to 8
+// centroids, ingested raw the way streaming windows arrive (the row
+// loop must box every point, the batched loop appends to a flat
+// column).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"blaze"
+	"blaze/internal/dataflow"
+	"blaze/internal/graphx"
+	"blaze/internal/mllib"
+)
+
+const (
+	tputPRVerts  = 4096
+	tputPRDeg    = 8
+	tputPRParts  = 8
+	tputKMPoints = 4096
+	tputKMDim    = 2
+	tputKMK      = 8
+
+	tputTargetSpeedup    = 5.0
+	tputTargetAllocRatio = 10.0
+)
+
+type tputEntry struct {
+	Workload             string  `json:"workload"`
+	Parallelism          int     `json:"parallelism"`
+	RecordsPerTask       int     `json:"records_per_task"`
+	Tasks                int     `json:"tasks"`
+	RowRecordsPerSec     float64 `json:"row_records_per_sec"`
+	BatchRecordsPerSec   float64 `json:"batch_records_per_sec"`
+	Speedup              float64 `json:"speedup"`
+	RowAllocsPerRecord   float64 `json:"row_allocs_per_record"`
+	BatchAllocsPerRecord float64 `json:"batch_allocs_per_record"`
+	AllocRatio           float64 `json:"alloc_ratio"`
+}
+
+type tputIdentity struct {
+	Workload     string `json:"workload"`
+	Parallelism  int    `json:"parallelism"`
+	MetricsEqual bool   `json:"metrics_equal"`
+	EventsEqual  bool   `json:"events_equal"`
+}
+
+type tputReport struct {
+	Cores            int            `json:"cores"`
+	Entries          []tputEntry    `json:"entries"`
+	Identity         []tputIdentity `json:"identity"`
+	VecTasksExecuted int64          `json:"vec_tasks_executed"`
+	TargetSpeedup    float64        `json:"target_speedup"`
+	TargetAllocRatio float64        `json:"target_alloc_ratio"`
+	TargetsMet       bool           `json:"targets_met"`
+	BitIdentical     bool           `json:"bit_identical"`
+	Note             string         `json:"note"`
+}
+
+// mergeRowsByKey is the row loop's map-side combine shape: map-indexed
+// accumulation of boxed float64 values in first-seen key order.
+func mergeRowsByKey(recs []dataflow.Record) []dataflow.Record {
+	idx := make(map[int64]int, len(recs))
+	var out []dataflow.Record
+	for _, r := range recs {
+		if at, ok := idx[r.Key]; ok {
+			out[at].Value = out[at].Value.(float64) + r.Value.(float64)
+		} else {
+			idx[r.Key] = len(out)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// prRowTask runs one PageRank partition through the row data plane:
+// contributions FlatMap, hash route to reducers, per-bucket combine.
+func prRowTask(recs []dataflow.Record) int {
+	contribs := graphx.BenchContribsRow(recs)
+	buckets := make([][]dataflow.Record, tputPRParts)
+	for _, r := range contribs {
+		p := dataflow.HashPartition(r.Key, tputPRParts)
+		buckets[p] = append(buckets[p], r)
+	}
+	n := 0
+	for _, b := range buckets {
+		n += len(mergeRowsByKey(b))
+	}
+	return n
+}
+
+// prBatchTask runs the same partition through the batched data plane.
+func prBatchTask(in *dataflow.Batch, router dataflow.Router) int {
+	contribs := graphx.BenchContribsBatch(in)
+	buckets := make([]*dataflow.Batch, tputPRParts)
+	for p := range buckets {
+		buckets[p] = dataflow.NewBatch(contribs.Len() / tputPRParts)
+	}
+	for j := 0; j < contribs.Len(); j++ {
+		buckets[router.Bucket(contribs.Keys[j])].AppendFromBatch(contribs, j)
+	}
+	contribs.Release()
+	n := 0
+	for _, b := range buckets {
+		merged := dataflow.MergeBatchByKeyF64(b, func(a, c float64) float64 { return a + c })
+		n += merged.Len()
+		merged.Release()
+		b.Release()
+	}
+	return n
+}
+
+// kmRowTask ingests one window of raw points as boxed records and runs
+// the assignment closure, the way the row loop processes an arriving
+// streaming window.
+func kmRowTask(flat []float64, cs []dataflow.Record) int {
+	recs := make([]dataflow.Record, tputKMPoints)
+	for i := 0; i < tputKMPoints; i++ {
+		v := make([]float64, tputKMDim)
+		copy(v, flat[i*tputKMDim:(i+1)*tputKMDim])
+		recs[i] = dataflow.Record{Key: int64(i), Value: mllib.Vector{V: v}}
+	}
+	return len(mllib.BenchStatsRow(recs, cs, tputKMK))
+}
+
+// kmBatchTask ingests the same window into a flat vector column and
+// runs the assignment kernel.
+func kmBatchTask(flat []float64, cb *dataflow.Batch) int {
+	pb := dataflow.NewBatch(tputKMPoints)
+	col := mllib.NewVectorColumn(tputKMPoints)
+	pb.Col = col
+	for i := 0; i < tputKMPoints; i++ {
+		pb.Keys = append(pb.Keys, int64(i))
+		col.Flat = append(col.Flat, flat[i*tputKMDim:(i+1)*tputKMDim]...)
+		col.Off = append(col.Off, int32(len(col.Flat)))
+	}
+	out := mllib.BenchStatsBatch(pb, cb, tputKMK)
+	n := out.Len()
+	out.Release()
+	pb.Release()
+	return n
+}
+
+// measureTput runs `task` on `par` goroutines, `tasks` invocations in
+// total, and returns records/s and allocations per record.
+func measureTput(par, tasks, recordsPerTask int, task func()) (recPerSec, allocsPerRec float64) {
+	for i := 0; i < 3; i++ {
+		task() // warm pools and code paths
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		n := tasks / par
+		if w < tasks%par {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				task()
+			}
+		}(n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	total := float64(tasks * recordsPerTask)
+	return total / elapsed.Seconds(), float64(m1.Mallocs-m0.Mallocs) / total
+}
+
+// identityRun executes one full engine run and returns its result and
+// event log.
+func identityRun(wl blaze.WorkloadID, par int, vec bool) (*blaze.Result, *blaze.EventLog) {
+	log := blaze.NewEventLog()
+	res, err := blaze.Run(blaze.RunConfig{
+		System:      blaze.SysBlaze,
+		Workload:    wl,
+		Executors:   4,
+		Scale:       0.5,
+		Parallelism: par,
+		Vectorized:  vec,
+		EventLog:    log,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	return res, log
+}
+
+func eventsEqual(a, b *blaze.EventLog) bool {
+	ae, be := a.Events(), b.Events()
+	if len(ae) != len(be) {
+		return false
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func RunThroughputBench(path, cpuProfile, memProfile string) {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := tputReport{
+		Cores:            runtime.NumCPU(),
+		TargetSpeedup:    tputTargetSpeedup,
+		TargetAllocRatio: tputTargetAllocRatio,
+		Note: "per-task data plane (kernel + route + combine) row vs. batch; " +
+			"identity entries compare full engine runs row vs. vectorized",
+	}
+
+	// PageRank pipeline.
+	prRecs, _ := graphx.BenchPRPartition(tputPRVerts, tputPRDeg)
+	prBatch := dataflow.FromRecords(prRecs)
+	router := dataflow.NewRouter(tputPRParts)
+	// k-means window: raw coordinates plus broadcast centroids.
+	kmFlat := make([]float64, tputKMPoints*tputKMDim)
+	for i := range kmFlat {
+		kmFlat[i] = float64((i*13)%97) / 97
+	}
+	_, kmCents, _, kmCentBatch := mllib.BenchKMeansPartition(1, tputKMDim, tputKMK)
+
+	type pipeline struct {
+		workload       string
+		recordsPerTask int
+		tasks          int
+		row, batch     func()
+	}
+	pipes := []pipeline{
+		{
+			workload: "pr", recordsPerTask: tputPRVerts, tasks: 192,
+			row:   func() { prRowTask(prRecs) },
+			batch: func() { prBatchTask(prBatch, router) },
+		},
+		{
+			workload: "kmeans", recordsPerTask: tputKMPoints, tasks: 768,
+			row:   func() { kmRowTask(kmFlat, kmCents) },
+			batch: func() { kmBatchTask(kmFlat, kmCentBatch) },
+		},
+	}
+
+	rep.TargetsMet = true
+	for _, p := range pipes {
+		for _, par := range []int{1, 8} {
+			rowRPS, rowAPR := measureTput(par, p.tasks, p.recordsPerTask, p.row)
+			batchRPS, batchAPR := measureTput(par, p.tasks, p.recordsPerTask, p.batch)
+			e := tputEntry{
+				Workload:             p.workload,
+				Parallelism:          par,
+				RecordsPerTask:       p.recordsPerTask,
+				Tasks:                p.tasks,
+				RowRecordsPerSec:     rowRPS,
+				BatchRecordsPerSec:   batchRPS,
+				Speedup:              batchRPS / rowRPS,
+				RowAllocsPerRecord:   rowAPR,
+				BatchAllocsPerRecord: batchAPR,
+				AllocRatio:           rowAPR / batchAPR,
+			}
+			if e.Speedup < tputTargetSpeedup || e.AllocRatio < tputTargetAllocRatio {
+				rep.TargetsMet = false
+			}
+			rep.Entries = append(rep.Entries, e)
+			fmt.Printf("%-8s P%d  row %10.0f rec/s %7.2f allocs/rec   batch %10.0f rec/s %7.4f allocs/rec   speedup %5.2fx  allocs %6.1fx\n",
+				p.workload, par, rowRPS, rowAPR, batchRPS, batchAPR, e.Speedup, e.AllocRatio)
+		}
+	}
+
+	// Bit-identity proof: full engine, row vs. vectorized, P1 and P8.
+	vecBefore := blaze.VecTasksExecuted()
+	rep.BitIdentical = true
+	for _, wl := range []blaze.WorkloadID{blaze.PR, blaze.KMeans} {
+		rowRes, rowLog := identityRun(wl, 1, false)
+		for _, par := range []int{1, 8} {
+			vecRes, vecLog := identityRun(wl, par, true)
+			id := tputIdentity{
+				Workload:     string(wl),
+				Parallelism:  par,
+				MetricsEqual: blaze.MetricsEqualDeterministic(rowRes.Metrics, vecRes.Metrics),
+				EventsEqual:  eventsEqual(rowLog, vecLog),
+			}
+			if !id.MetricsEqual || !id.EventsEqual {
+				rep.BitIdentical = false
+			}
+			rep.Identity = append(rep.Identity, id)
+			fmt.Printf("%-8s P%d  metrics-equal %v  events-equal %v\n", wl, par, id.MetricsEqual, id.EventsEqual)
+		}
+	}
+	rep.VecTasksExecuted = blaze.VecTasksExecuted() - vecBefore
+	if rep.VecTasksExecuted == 0 {
+		fmt.Fprintln(os.Stderr, "blazebench: vectorized runs executed zero columnar tasks; identity check is vacuous")
+		os.Exit(1)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(targets: >=%.0fx records/s, >=%.0fx fewer allocs; met=%v; bit-identical=%v; %d columnar tasks; report written to %s)\n",
+		tputTargetSpeedup, tputTargetAllocRatio, rep.TargetsMet, rep.BitIdentical, rep.VecTasksExecuted, path)
+
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "blazebench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

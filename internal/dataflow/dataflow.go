@@ -49,6 +49,11 @@ type Dependency struct {
 	// Combine optionally aggregates same-key values map-side before the
 	// shuffle write, like Spark's reduceByKey combiner.
 	Combine CombineFunc
+	// CombineF64 is the unboxed form of Combine for float64 values, set
+	// by ReduceByKeyF64. When present the vectorized loop combines key
+	// columns without boxing; Combine stays authoritative for the row
+	// path and both produce identical values.
+	CombineF64 func(a, b float64) float64
 }
 
 // OpClass mirrors costmodel.OpClass without importing it, keeping this
@@ -73,6 +78,10 @@ type Dataset struct {
 	class OpClass
 	fn    ComputeFunc
 	ctx   *Context
+
+	// batchFn is the optional columnar kernel (see batch.go); datasets
+	// without one run through the boxed escape hatch in BatchCompute.
+	batchFn BatchFunc
 
 	// cached records the user's cache() annotation (§2.3); the engine's
 	// cache controller may honor or override it depending on the system
@@ -384,18 +393,6 @@ func mergeByKey(in []Record, combine CombineFunc) []Record {
 
 // MergeByKey is exported for shuffle-side combining in the engine.
 func MergeByKey(in []Record, combine CombineFunc) []Record { return mergeByKey(in, combine) }
-
-// HashPartition returns the shuffle bucket for a key, deterministically
-// spreading keys with a 64-bit mix (splitmix64 finalizer).
-func HashPartition(key int64, parts int) int {
-	x := uint64(key)
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int(x % uint64(parts))
-}
 
 // Collect runs a job computing every partition of the dataset and returns
 // them. It is an action: it triggers execution through the engine.

@@ -1,0 +1,88 @@
+package dataflow
+
+import (
+	"testing"
+)
+
+// refPartition is the original modulo implementation of HashPartition
+// (splitmix64 finalizer, then %). The Router's mask and fastmod paths
+// are pure strength reductions of this expression; bucket assignment is
+// a determinism contract — shuffle layouts, adjacency partition
+// membership and every historical event log depend on it — so the fast
+// paths must agree with the reference on every input, not just be
+// well-distributed.
+func refPartition(key int64, parts int) int {
+	x := uint64(key)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(parts))
+}
+
+// TestRouterMatchesReference sweeps part counts across the mask path
+// (powers of two), the 32-bit-split fastmod path (everything up to
+// 65536) and the plain-% fallback, over adversarial and dense key sets.
+func TestRouterMatchesReference(t *testing.T) {
+	partCounts := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17,
+		31, 64, 100, 1000, 4095, 4096, 4097, 65535, 65536, 65537, 70000, 1 << 20}
+	keys := []int64{0, 1, 2, 3, -1, -2, 1 << 62, -(1 << 62), 1<<63 - 1, -1 << 63,
+		0x5555555555555555, -0x5555555555555556, 123456789, 987654321}
+	for i := int64(0); i < 4096; i++ {
+		keys = append(keys, i, i*1_000_003, -i*7_777_777)
+	}
+	for _, parts := range partCounts {
+		r := NewRouter(parts)
+		if r.Parts() != parts {
+			t.Fatalf("Parts()=%d want %d", r.Parts(), parts)
+		}
+		for _, k := range keys {
+			if got, want := r.Bucket(k), refPartition(k, parts); got != want {
+				t.Fatalf("parts=%d key=%d: Bucket=%d ref=%d", parts, k, got, want)
+			}
+			if got, want := HashPartition(k, parts), refPartition(k, parts); got != want {
+				t.Fatalf("parts=%d key=%d: HashPartition=%d ref=%d", parts, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRouterDistribution is a sanity check that the mix still spreads
+// dense keys evenly (no bucket more than 2x the mean over a large
+// sample) — the property the original modulo hash provided.
+func TestRouterDistribution(t *testing.T) {
+	for _, parts := range []int{7, 8, 100} {
+		r := NewRouter(parts)
+		counts := make([]int, parts)
+		const n = 100000
+		for k := int64(0); k < n; k++ {
+			counts[r.Bucket(k)]++
+		}
+		mean := n / parts
+		for b, c := range counts {
+			if c > 2*mean || c < mean/2 {
+				t.Errorf("parts=%d bucket %d has %d keys (mean %d)", parts, b, c, mean)
+			}
+		}
+	}
+}
+
+func BenchmarkHashPartitionMod(b *testing.B) {
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += refPartition(int64(i), 100)
+	}
+	sinkInt = s
+}
+
+func BenchmarkHashPartitionRouter(b *testing.B) {
+	r := NewRouter(100)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += r.Bucket(int64(i))
+	}
+	sinkInt = s
+}
+
+var sinkInt int

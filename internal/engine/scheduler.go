@@ -53,6 +53,11 @@ type Stage struct {
 	// Regenerated marks stages re-run mid-job to recover cleaned shuffle
 	// data (Spark's stage resubmission on missing shuffle files).
 	Regenerated bool
+	// vec marks this stage execution for the columnar task loop. Set
+	// once per execution in runStage (driver context) when the cluster
+	// is Vectorized and the stage passes the home-locality gate; the
+	// choice only swaps the data plane, never the charges or events.
+	vec bool
 }
 
 // shuffleRef pairs a shuffle dependency with the dataset that owns it,
@@ -267,6 +272,16 @@ func (c *Cluster) runStage(st *Stage) [][]dataflow.Record {
 		c.shuffle.Ensure(sid, st.NumBuckets, st.Boundary.Partitions())
 		taskParts = c.shuffle.MissingMaps(sid)
 	}
+	// Columnar eligibility reuses the PR 3 isolation gate. Spill-only
+	// semantics are correct here even for drop-on-evict controllers: a
+	// task has no concurrent evictor on its own executor, so a memory
+	// hit observed by the walk stays readable for that task. The gate
+	// keeps stages headed for mid-task shuffle regeneration on the row
+	// loop (fetchShuffleVec still handles the mid-stage-eviction edge
+	// case identically); either loop produces bit-identical metrics and
+	// events regardless — the gate is an engineering boundary, not a
+	// correctness one.
+	st.vec = c.cfg.Vectorized && !st.Regenerated && c.stageIsolated(st, taskParts, true)
 	// A stage recreating a shuffle an injected fault destroyed is
 	// recovery work, whether it runs nested (regeneration mid-task) or as
 	// a top-level stage the next job resubmitted; the core time the whole
@@ -573,6 +588,9 @@ func (c *Cluster) speculationTarget(ex *Executor) (*Executor, *costmodel.Clock) 
 // runTaskBody materializes one partition of the stage boundary and, for
 // map stages, writes the shuffle output.
 func (c *Cluster) runTaskBody(ex *Executor, st *Stage, part int) []dataflow.Record {
+	if st.vec {
+		return c.runTaskBodyVec(ex, st, part)
+	}
 	ex.Clock().Advance(c.cfg.Params.TaskOverhead)
 	c.met.Executors[ex.ID].Tasks++
 	recs := c.materialize(ex, st.Boundary, part)
@@ -803,6 +821,21 @@ func (c *Cluster) writeToDisk(ex *Executor, id storage.BlockID, recs []dataflow.
 // stage's tasks, and excluding transient fetch-flake backoff, which must
 // not pollute the incremental cost estimates controllers build on).
 func (c *Cluster) fetchShuffle(ex *Executor, dep dataflow.Dependency, childParts, part int) ([]dataflow.Record, time.Duration) {
+	c.fetchShufflePrologue(ex, dep, childParts, part)
+	recs, bytes, err := c.shuffle.Fetch(dep.ShuffleID, part)
+	if err != nil {
+		panic(err) // regeneration above guarantees completeness
+	}
+	cost := c.cfg.Params.NetTransfer(bytes) + c.cfg.Params.Serialize(bytes)
+	ex.Clock().Advance(cost)
+	c.met.Executors[ex.ID].Breakdown.Shuffle += cost
+	return recs, cost
+}
+
+// fetchShufflePrologue regenerates a cleaned shuffle and charges any
+// injected transient fetch flakes. It is shared by the row and columnar
+// fetch paths so their charge and event sequences are identical.
+func (c *Cluster) fetchShufflePrologue(ex *Executor, dep dataflow.Dependency, childParts, part int) {
 	if !c.shuffle.Complete(dep.ShuffleID) {
 		c.regenerateShuffle(dep, childParts)
 	}
@@ -825,14 +858,6 @@ func (c *Cluster) fetchShuffle(ex *Executor, dep dataflow.Dependency, childParts
 				Executor: ex.ID, Shuffle: dep.ShuffleID, Partition: part, Attempt: attempt, Cost: backoff})
 		}
 	}
-	recs, bytes, err := c.shuffle.Fetch(dep.ShuffleID, part)
-	if err != nil {
-		panic(err) // regeneration above guarantees completeness
-	}
-	cost := c.cfg.Params.NetTransfer(bytes) + c.cfg.Params.Serialize(bytes)
-	ex.Clock().Advance(cost)
-	c.met.Executors[ex.ID].Breakdown.Shuffle += cost
-	return recs, cost
 }
 
 // regenerateShuffle re-runs the map stage for a cleaned shuffle — the

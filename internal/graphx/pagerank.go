@@ -55,7 +55,7 @@ func PageRank(ctx *dataflow.Context, cfg PageRankConfig) map[int64]float64 {
 	adj := adjacencySource(ctx, "pr-adj@0", cfg.Graph, cfg.Parts)
 	graph := adj.Map("pr-graph@0", func(r dataflow.Record) dataflow.Record {
 		return dataflow.Record{Key: r.Key, Value: VertexRank{Adj: r.Value.(AdjList).Dsts, Rank: 1}}
-	})
+	}).WithBatchKernel(rankInitKernel())
 	if cfg.Annotate {
 		graph.Cache()
 	}
@@ -77,9 +77,9 @@ func PageRank(ctx *dataflow.Context, cfg PageRankConfig) map[int64]float64 {
 				out[i] = dataflow.Record{Key: dst, Value: share}
 			}
 			return out
-		})
-		sums := contribs.ReduceByKey(name("pr-sums", it), cfg.Parts, func(a, b any) any {
-			return a.(float64) + b.(float64)
+		}).WithBatchKernel(contribsKernel())
+		sums := contribs.ReduceByKeyF64(name("pr-sums", it), cfg.Parts, func(a, b float64) float64 {
+			return a + b
 		})
 		newGraph := dataflow.Zip(name("pr-graph", it), dataflow.OpLight, graph, sums,
 			func(_ int, gs, ss []dataflow.Record) []dataflow.Record {
@@ -94,7 +94,7 @@ func PageRank(ctx *dataflow.Context, cfg PageRankConfig) map[int64]float64 {
 					out[i] = dataflow.Record{Key: g.Key, Value: VertexRank{Adj: v.Adj, Rank: cfg.ResetProb + (1-cfg.ResetProb)*s}}
 				}
 				return out
-			})
+			}).WithBatchKernel(rankUpdateKernel(cfg.ResetProb))
 		if cfg.Annotate {
 			newGraph.Cache()
 		}

@@ -66,7 +66,7 @@ func PageRankStream(cfg PageRankStreamConfig) func(ctx *dataflow.Context, window
 		if carried == nil {
 			graph = adj.Map(name("spr-graph", base), func(r dataflow.Record) dataflow.Record {
 				return dataflow.Record{Key: r.Key, Value: VertexRank{Adj: r.Value.(AdjList).Dsts, Rank: 1}}
-			})
+			}).WithBatchKernel(rankInitKernel())
 		} else {
 			// Re-key the carried ranks onto the drifted adjacency:
 			// vertices keep their converged rank, the edges are new.
@@ -82,7 +82,7 @@ func PageRankStream(cfg PageRankStreamConfig) func(ctx *dataflow.Context, window
 						out[i] = dataflow.Record{Key: a.Key, Value: VertexRank{Adj: a.Value.(AdjList).Dsts, Rank: rank}}
 					}
 					return out
-				})
+				}).WithBatchKernel(rankCarryKernel())
 			// The carried graph is NOT released here: the stream driver
 			// cannot know when cross-window state dies. Windowed
 			// lifetime management retires it once its last-consumer
@@ -105,9 +105,9 @@ func PageRankStream(cfg PageRankStreamConfig) func(ctx *dataflow.Context, window
 					out[j] = dataflow.Record{Key: dst, Value: share}
 				}
 				return out
-			})
-			sums := contribs.ReduceByKey(name("spr-sums", it), cfg.Parts, func(a, b any) any {
-				return a.(float64) + b.(float64)
+			}).WithBatchKernel(contribsKernel())
+			sums := contribs.ReduceByKeyF64(name("spr-sums", it), cfg.Parts, func(a, b float64) float64 {
+				return a + b
 			})
 			newGraph := dataflow.Zip(name("spr-graph", it), dataflow.OpLight, graph, sums,
 				func(_ int, gs, ss []dataflow.Record) []dataflow.Record {
@@ -122,7 +122,7 @@ func PageRankStream(cfg PageRankStreamConfig) func(ctx *dataflow.Context, window
 						out[j] = dataflow.Record{Key: g.Key, Value: VertexRank{Adj: v.Adj, Rank: cfg.ResetProb + (1-cfg.ResetProb)*s}}
 					}
 					return out
-				})
+				}).WithBatchKernel(rankUpdateKernel(cfg.ResetProb))
 			if cfg.Annotate {
 				newGraph.Cache()
 			}

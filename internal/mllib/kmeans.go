@@ -120,7 +120,7 @@ func KMeans(ctx *dataflow.Context, cfg KMeansConfig) ([][]float64, float64) {
 					}
 				}
 				return out
-			})
+			}).WithBatchKernel(statsKernel(spec.K))
 	}
 
 	prevCenters := make([][]float64, 0, spec.K)
@@ -214,8 +214,8 @@ func KMeans(ctx *dataflow.Context, cfg KMeansConfig) ([][]float64, float64) {
 				total += best
 			}
 			return []dataflow.Record{{Key: 0, Value: total}}
-		}).ReduceByKey("km-wcss-agg@0", 1, func(a, b any) any {
-		return a.(float64) + b.(float64)
+		}).WithBatchKernel(wcssKernel(spec.K)).ReduceByKeyF64("km-wcss-agg@0", 1, func(a, b float64) float64 {
+		return a + b
 	})
 	var total float64
 	for _, part := range wcss.Collect() {

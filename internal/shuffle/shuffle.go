@@ -23,16 +23,48 @@ import (
 	"blaze/internal/dataflow"
 )
 
-// mapOutput is one map task's contribution: one record slice and byte
-// count per reduce bucket, tagged with the producing executor.
+// mapOutput is one map task's contribution: one bucket of records and a
+// byte count per reduce bucket, tagged with the producing executor. A
+// bucket is stored either as a row slice (buckets) or as a columnar
+// batch (batches) depending on which task loop produced it; both
+// representations are equivalent and convert on demand at fetch time, so
+// row and vectorized stages interoperate freely within one run.
 type mapOutput struct {
 	buckets  [][]dataflow.Record
+	batches  []*dataflow.Batch
 	bytes    []int64
 	executor int
 }
 
+// bucketRecords returns one bucket in row form, boxing a batch-stored
+// bucket on demand.
+func (m *mapOutput) bucketRecords(b int) []dataflow.Record {
+	if m.batches != nil {
+		if bb := m.batches[b]; bb != nil {
+			return bb.Records()
+		}
+		return nil
+	}
+	return m.buckets[b]
+}
+
+// allBuckets returns every bucket in row form, for snapshotting.
+func (m *mapOutput) allBuckets() [][]dataflow.Record {
+	if m.batches == nil {
+		return m.buckets
+	}
+	out := make([][]dataflow.Record, len(m.batches))
+	for b := range m.batches {
+		out[b] = m.bucketRecords(b)
+	}
+	return out
+}
+
 type output struct {
 	numBuckets int
+	// router is the memoized bucket router for this shuffle's reduce
+	// side, built once in Ensure.
+	router dataflow.Router
 	// maps is indexed by map partition; nil entries are missing (never
 	// written, or invalidated by a fault).
 	maps []*mapOutput
@@ -80,8 +112,30 @@ func (s *Service) Ensure(shuffleID, buckets, maps int) {
 	}
 	s.outputs[shuffleID] = &output{
 		numBuckets: buckets,
+		router:     dataflow.NewRouter(buckets),
 		maps:       make([]*mapOutput, maps),
 	}
+}
+
+// checkSet validates a map-output write under s.mu.
+func (s *Service) checkSet(shuffleID, mapPart, nBuckets, nBytes int) (*output, error) {
+	o, ok := s.outputs[shuffleID]
+	if !ok {
+		return nil, fmt.Errorf("shuffle: shuffle %d not prepared", shuffleID)
+	}
+	if mapPart < 0 || mapPart >= len(o.maps) {
+		return nil, fmt.Errorf("shuffle: shuffle %d has no map partition %d", shuffleID, mapPart)
+	}
+	if o.sealed {
+		return nil, fmt.Errorf("shuffle: shuffle %d already complete", shuffleID)
+	}
+	if o.maps[mapPart] != nil {
+		return nil, fmt.Errorf("shuffle: shuffle %d map output %d already present", shuffleID, mapPart)
+	}
+	if nBuckets != o.numBuckets || nBytes != o.numBuckets {
+		return nil, fmt.Errorf("shuffle: shuffle %d expects %d buckets, got %d", shuffleID, o.numBuckets, nBuckets)
+	}
+	return o, nil
 }
 
 // SetMapOutput stores one map task's complete bucket set, replacing
@@ -90,23 +144,29 @@ func (s *Service) Ensure(shuffleID, buckets, maps int) {
 func (s *Service) SetMapOutput(shuffleID, mapPart, executor int, buckets [][]dataflow.Record, bytes []int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	o, ok := s.outputs[shuffleID]
-	if !ok {
-		return fmt.Errorf("shuffle: shuffle %d not prepared", shuffleID)
-	}
-	if mapPart < 0 || mapPart >= len(o.maps) {
-		return fmt.Errorf("shuffle: shuffle %d has no map partition %d", shuffleID, mapPart)
-	}
-	if o.sealed {
-		return fmt.Errorf("shuffle: shuffle %d already complete", shuffleID)
-	}
-	if o.maps[mapPart] != nil {
-		return fmt.Errorf("shuffle: shuffle %d map output %d already present", shuffleID, mapPart)
-	}
-	if len(buckets) != o.numBuckets || len(bytes) != o.numBuckets {
-		return fmt.Errorf("shuffle: shuffle %d expects %d buckets, got %d", shuffleID, o.numBuckets, len(buckets))
+	o, err := s.checkSet(shuffleID, mapPart, len(buckets), len(bytes))
+	if err != nil {
+		return err
 	}
 	o.maps[mapPart] = &mapOutput{buckets: buckets, bytes: bytes, executor: executor}
+	for _, b := range bytes {
+		s.totalWritten += b
+	}
+	return nil
+}
+
+// SetMapOutputBatch stores one map task's bucket set in columnar form,
+// with the same replacement rules as SetMapOutput. The service retains
+// the batches (they are never pool-released), so the caller must hand
+// over ownership.
+func (s *Service) SetMapOutputBatch(shuffleID, mapPart, executor int, batches []*dataflow.Batch, bytes []int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, err := s.checkSet(shuffleID, mapPart, len(batches), len(bytes))
+	if err != nil {
+		return err
+	}
+	o.maps[mapPart] = &mapOutput{batches: batches, bytes: bytes, executor: executor}
 	for _, b := range bytes {
 		s.totalWritten += b
 	}
@@ -163,10 +223,61 @@ func (s *Service) Fetch(shuffleID, bucket int) ([]dataflow.Record, int64, error)
 	var recs []dataflow.Record
 	var bytes int64
 	for _, mo := range o.maps {
-		recs = append(recs, mo.buckets[bucket]...)
+		recs = append(recs, mo.bucketRecords(bucket)...)
 		bytes += mo.bytes[bucket]
 	}
 	return recs, bytes, nil
+}
+
+// FetchBatch returns one reduce bucket in columnar form, concatenating
+// map outputs in map-partition order exactly like Fetch. Batch-stored
+// buckets copy column storage directly; row-stored buckets box in. The
+// returned batch is fresh and owned by the caller. NonNil mirrors
+// Fetch's result: nil only when no records were appended.
+func (s *Service) FetchBatch(shuffleID, bucket int) (*dataflow.Batch, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.outputs[shuffleID]
+	if !ok || !o.sealed {
+		return nil, 0, fmt.Errorf("shuffle: shuffle %d not complete", shuffleID)
+	}
+	total := 0
+	for _, mo := range o.maps {
+		if mo.batches != nil {
+			total += mo.batches[bucket].Len()
+		} else {
+			total += len(mo.buckets[bucket])
+		}
+	}
+	out := dataflow.NewBatch(total)
+	var bytes int64
+	for _, mo := range o.maps {
+		bytes += mo.bytes[bucket]
+		if mo.batches != nil {
+			bb := mo.batches[bucket]
+			for i := 0; i < bb.Len(); i++ {
+				out.AppendFromBatch(bb, i)
+			}
+		} else {
+			for _, r := range mo.buckets[bucket] {
+				out.Append(r.Key, r.Value)
+			}
+		}
+	}
+	out.NonNil = out.Len() > 0
+	return out, bytes, nil
+}
+
+// Router returns the memoized key router for a prepared shuffle, so the
+// per-record route loop skips both construction and the modulo divide.
+func (s *Service) Router(shuffleID int) (dataflow.Router, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.outputs[shuffleID]
+	if !ok {
+		return dataflow.Router{}, false
+	}
+	return o.router, true
 }
 
 // Clean removes a shuffle's outputs entirely; subsequent fetches force

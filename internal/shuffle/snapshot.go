@@ -55,7 +55,7 @@ func (s *Service) Snapshot() *Snapshot {
 			if m == nil {
 				continue
 			}
-			os.Maps[i] = MapSnapshot{Present: true, Executor: m.executor, Buckets: m.buckets, Bytes: m.bytes}
+			os.Maps[i] = MapSnapshot{Present: true, Executor: m.executor, Buckets: m.allBuckets(), Bytes: m.bytes}
 		}
 		snap.Outputs = append(snap.Outputs, os)
 	}

@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"blaze/internal/dataflow"
+)
+
+// TestEncodeRecordsPoolingByteIdentical is the S-regression for the
+// pooled codec scratch: reusing gob buffers and staging slices must
+// never change the encoded bytes. Block files, checkpoints and the
+// real-bytes memory tier all compare or hash encodings, so a pooled
+// buffer leaking state (a stale type definition, a dirty backing array)
+// would corrupt recovery. The test interleaves encodes of different
+// shapes and sizes so the pools are maximally polluted between the
+// reference encode and the re-encode.
+func TestEncodeRecordsPoolingByteIdentical(t *testing.T) {
+	mk := func(n int) []dataflow.Record {
+		recs := make([]dataflow.Record, n)
+		for i := range recs {
+			recs[i] = dataflow.Record{Key: int64(i), Value: float64(i) * 1.5}
+		}
+		return recs
+	}
+	targets := [][]dataflow.Record{
+		nil,
+		{},
+		mk(1),
+		mk(100),
+		{{Key: 1, Value: []float64{1, 2, 3}}, {Key: 2, Value: "str"}, {Key: 3, Value: int64(9)}},
+	}
+	refs := make([][]byte, len(targets))
+	for i, recs := range targets {
+		b, err := EncodeRecords(recs)
+		if err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+		refs[i] = b
+	}
+	// Pollute the pools: big encodes, decodes, other value shapes.
+	for round := 0; round < 3; round++ {
+		if _, err := EncodeRecords(mk(5000)); err != nil {
+			t.Fatal(err)
+		}
+		big, _ := EncodeRecords(mk(2000))
+		if _, err := DecodeRecords(big); err != nil {
+			t.Fatal(err)
+		}
+		for i, recs := range targets {
+			b, err := EncodeRecords(recs)
+			if err != nil {
+				t.Fatalf("round %d encode %d: %v", round, i, err)
+			}
+			if !bytes.Equal(b, refs[i]) {
+				t.Fatalf("round %d: encoding %d changed under pooling:\nref: %x\ngot: %x", round, i, refs[i], b)
+			}
+			back, err := DecodeRecords(b)
+			if err != nil {
+				t.Fatalf("round %d decode %d: %v", round, i, err)
+			}
+			if !reflect.DeepEqual(back, recs) {
+				t.Fatalf("round %d: decode %d mismatch:\ngot:  %+v\nwant: %+v", round, i, back, recs)
+			}
+		}
+	}
+}
+
+// TestDecodeRecordsZeroFieldsAfterPollution pins the zero-field hazard
+// of pooled decode staging: gob omits zero-valued fields on the wire
+// and does not clear the destination on decode, so reused staging
+// storage must be fully zeroed or a record with Key 0 inherits a stale
+// key from the previous decode. (This bug escaped the byte-identity
+// test above because its polluting data also started at key 0.)
+func TestDecodeRecordsZeroFieldsAfterPollution(t *testing.T) {
+	polluter := make([]dataflow.Record, 64)
+	for i := range polluter {
+		polluter[i] = dataflow.Record{Key: int64(1000 + i), Value: float64(i)}
+	}
+	pollEnc, err := EncodeRecords(polluter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := []dataflow.Record{{Key: 0, Value: 7.5}, {Key: 0, Value: 0.0}}
+	targetEnc, err := EncodeRecords(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		if _, err := DecodeRecords(pollEnc); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRecords(targetEnc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, target) {
+			t.Fatalf("round %d: stale staging leaked into decode:\ngot:  %+v\nwant: %+v", round, got, target)
+		}
+	}
+}
+
+// TestDecodeRecordsFreshOutput checks decoded slices never alias pooled
+// scratch: mutating one decode's result must not affect a later decode.
+func TestDecodeRecordsFreshOutput(t *testing.T) {
+	recs := []dataflow.Record{{Key: 1, Value: 1.0}, {Key: 2, Value: 2.0}}
+	enc, err := EncodeRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := DecodeRecords(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a[0] = dataflow.Record{Key: 99, Value: 99.0}
+	b, err := DecodeRecords(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, recs) {
+		t.Fatalf("second decode affected by mutation of the first: %+v", b)
+	}
+}

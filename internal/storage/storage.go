@@ -29,8 +29,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"reflect"
 	"sort"
+	"sync"
 	"time"
 
 	"blaze/internal/dataflow"
@@ -46,94 +46,24 @@ type BlockID struct {
 func (b BlockID) String() string { return fmt.Sprintf("rdd_%d_%d", b.Dataset, b.Partition) }
 
 // Sized lets workload value types report their in-memory footprint so the
-// cache sees realistic, skewed partition sizes (§2.2).
-type Sized interface {
-	SizeBytes() int64
-}
+// cache sees realistic, skewed partition sizes (§2.2). The sizing rules
+// themselves live in dataflow so columnar batches can report exact
+// per-element sizes; these wrappers keep the historical storage API.
+type Sized = dataflow.Sized
 
 // ValueSize estimates the in-memory footprint of a record value.
-func ValueSize(v any) int64 {
-	switch x := v.(type) {
-	case nil:
-		return 0
-	case Sized:
-		return x.SizeBytes()
-	case bool, int8, uint8:
-		return 1
-	case int16, uint16:
-		return 2
-	case int32, uint32, float32:
-		return 4
-	case int, int64, uint64, float64:
-		return 8
-	case string:
-		return 16 + int64(len(x))
-	case []byte:
-		return 24 + int64(len(x))
-	case []float64:
-		return 24 + 8*int64(len(x))
-	case []float32:
-		return 24 + 4*int64(len(x))
-	case []int64:
-		return 24 + 8*int64(len(x))
-	case []int32:
-		return 24 + 4*int64(len(x))
-	case []int:
-		return 24 + 8*int64(len(x))
-	case []string:
-		s := int64(24)
-		for _, e := range x {
-			s += 16 + int64(len(e))
-		}
-		return s
-	case []any:
-		s := int64(24)
-		for _, e := range x {
-			s += 16 + ValueSize(e)
-		}
-		return s
-	default:
-		return reflectValueSize(v)
-	}
-}
-
-// reflectValueSize sizes slice- and map-typed values that have no
-// dedicated case above, walking elements reflectively. Summation is
-// order-independent, so map iteration order does not affect the result.
-// Anything else keeps the historical flat fallback.
-func reflectValueSize(v any) int64 {
-	rv := reflect.ValueOf(v)
-	switch rv.Kind() {
-	case reflect.Slice:
-		s := int64(24)
-		for i := 0; i < rv.Len(); i++ {
-			s += 8 + ValueSize(rv.Index(i).Interface())
-		}
-		return s
-	case reflect.Map:
-		s := int64(48)
-		it := rv.MapRange()
-		for it.Next() {
-			s += 16 + ValueSize(it.Key().Interface()) + ValueSize(it.Value().Interface())
-		}
-		return s
-	default:
-		return 48
-	}
-}
+func ValueSize(v any) int64 { return dataflow.ValueSize(v) }
 
 // RecordSize estimates the footprint of one record (16 bytes of header
 // plus the value).
-func RecordSize(r dataflow.Record) int64 { return 16 + ValueSize(r.Value) }
+func RecordSize(r dataflow.Record) int64 { return dataflow.RecordSize(r) }
 
 // EstimateRecords estimates the footprint of a whole partition.
-func EstimateRecords(recs []dataflow.Record) int64 {
-	s := int64(24) // slice header and bookkeeping
-	for _, r := range recs {
-		s += RecordSize(r)
-	}
-	return s
-}
+func EstimateRecords(recs []dataflow.Record) int64 { return dataflow.EstimateRecords(recs) }
+
+// EstimateBatch estimates the footprint of a columnar partition; by
+// construction it equals EstimateRecords(b.Records()).
+func EstimateBatch(b *dataflow.Batch) int64 { return b.EstimateSize() }
 
 // BlockMeta carries the per-block bookkeeping used by eviction policies
 // and by Blaze's cost estimator.
@@ -651,36 +581,93 @@ type gobPartition struct {
 // workloads call this for their payload types before using the codec.
 func RegisterValueType(v any) { gob.Register(v) }
 
+// Codec scratch pools. Every EncodeRecords call used to allocate a fresh
+// bytes.Buffer and []gobRecord staging slice, and every DecodeRecords a
+// fresh staging slice; on the real-bytes hot path that churn dominated
+// allocation profiles. The pools recycle only intermediate scratch: the
+// returned []byte and []dataflow.Record are always freshly allocated,
+// because callers (the decode cache in particular) retain them. A fresh
+// gob.Encoder is created per call either way, so type definitions are
+// re-emitted identically and pooling cannot change the encoded bytes
+// (TestEncodeRecordsPoolingByteIdentical pins that).
+var (
+	encBufPool sync.Pool // *bytes.Buffer
+	gobRecPool sync.Pool // *[]gobRecord
+)
+
+func getGobRecs(n int) []gobRecord {
+	if v := gobRecPool.Get(); v != nil {
+		s := *(v.(*[]gobRecord))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]gobRecord, n)
+}
+
+func putGobRecs(s []gobRecord) {
+	const maxPooled = 1 << 18 // don't pin giant staging arrays
+	if cap(s) == 0 || cap(s) > maxPooled {
+		return
+	}
+	// Zero the full capacity, not just the payload references: gob omits
+	// zero-valued fields on the wire and does not clear the destination
+	// on decode, so a stale Key surviving in reused staging storage would
+	// silently corrupt any decoded record whose true Key is 0
+	// (TestDecodeRecordsZeroFieldsAfterPollution pins this).
+	s = s[:cap(s)]
+	clear(s)
+	p := new([]gobRecord)
+	*p = s[:0]
+	gobRecPool.Put(p)
+}
+
 // EncodeRecords serializes a partition with encoding/gob. Real-bytes
 // stores use it for every cached block; virtual mode uses it to validate
 // the analytic size estimator and to exercise a real serialization code
 // path in tests.
 func EncodeRecords(recs []dataflow.Record) ([]byte, error) {
-	p := gobPartition{NonNil: recs != nil, Recs: make([]gobRecord, len(recs))}
+	staged := getGobRecs(len(recs))
+	p := gobPartition{NonNil: recs != nil, Recs: staged}
 	for i, r := range recs {
 		p.Recs[i] = gobRecord{Key: r.Key, Value: r.Value}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+	var buf *bytes.Buffer
+	if v := encBufPool.Get(); v != nil {
+		buf = v.(*bytes.Buffer)
+		buf.Reset()
+	} else {
+		buf = new(bytes.Buffer)
+	}
+	err := gob.NewEncoder(buf).Encode(p)
+	putGobRecs(staged)
+	if err != nil {
+		encBufPool.Put(buf)
 		return nil, fmt.Errorf("storage: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encBufPool.Put(buf)
+	return out, nil
 }
 
 // DecodeRecords deserializes a partition written by EncodeRecords. The
 // round trip is exact for empty partitions: an empty (non-nil) slice
 // decodes as empty, a nil slice as nil.
 func DecodeRecords(data []byte) ([]dataflow.Record, error) {
-	var p gobPartition
+	p := gobPartition{Recs: getGobRecs(0)}
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		putGobRecs(p.Recs)
 		return nil, fmt.Errorf("storage: decode: %w", err)
 	}
 	if !p.NonNil {
+		putGobRecs(p.Recs)
 		return nil, nil
 	}
 	out := make([]dataflow.Record, len(p.Recs))
 	for i, r := range p.Recs {
 		out[i] = dataflow.Record{Key: r.Key, Value: r.Value}
 	}
+	putGobRecs(p.Recs)
 	return out, nil
 }

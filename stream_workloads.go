@@ -145,6 +145,7 @@ type StreamConfig struct {
 	Executors         int
 	Cores             int
 	Parallelism       int
+	Vectorized        bool
 	MemoryPerExecutor int64
 	CostParams        CostParams
 	DiskCapacity      int64
@@ -223,6 +224,7 @@ func runStream(cfg StreamConfig, open func(SessionConfig) (*Session, error)) (*S
 		Executors:         cfg.Executors,
 		Cores:             cfg.Cores,
 		Parallelism:       cfg.Parallelism,
+		Vectorized:        cfg.Vectorized,
 		MemoryPerExecutor: cfg.MemoryPerExecutor,
 		CostParams:        params,
 		DiskCapacity:      cfg.DiskCapacity,
